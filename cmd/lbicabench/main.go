@@ -1,0 +1,110 @@
+// Command lbicabench regenerates the paper's entire evaluation section:
+// Figs. 4 and 5 (per-interval cache and disk load under WB, SIB and
+// LBICA), Fig. 6 (LBICA's decision timeline), Fig. 7 (average latency),
+// and the headline aggregates, as CSV files plus a summary on stdout.
+//
+// Usage:
+//
+//	lbicabench                 # everything into ./results/
+//	lbicabench -out /tmp/r     # choose the output directory
+//	lbicabench -fig 6          # only Fig. 6
+//	lbicabench -summary        # just the headline table on stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lbica/internal/experiments"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "results", "output directory for CSV files")
+		fig     = flag.Int("fig", 0, "regenerate only this figure (4, 5, 6 or 7); 0 = all")
+		summary = flag.Bool("summary", false, "print only the headline table")
+		seed    = flag.Int64("seed", 1, "random seed")
+		rate    = flag.Float64("rate", 1, "workload IOPS scale factor")
+	)
+	flag.Parse()
+
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running the 3 workloads × 3 schemes matrix...\n")
+	m := experiments.RunMatrix(*seed, *rate)
+	fmt.Fprintf(os.Stderr, "matrix done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if *summary {
+		if err := experiments.WriteHeadlines(os.Stdout, experiments.ComputeHeadlines(m)); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail(err)
+	}
+
+	emit := func(name string, write func(f *os.File) error) {
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fail(err)
+		}
+		if err := write(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println("wrote", path)
+	}
+
+	want := func(n int) bool { return *fig == 0 || *fig == n }
+
+	for _, wl := range experiments.Workloads {
+		wl := wl
+		if want(4) {
+			emit(fmt.Sprintf("fig4_%s_cache_load.csv", wl), func(f *os.File) error {
+				return experiments.Fig4(m, wl).WriteCSV(f)
+			})
+		}
+		if want(5) {
+			emit(fmt.Sprintf("fig5_%s_disk_load.csv", wl), func(f *os.File) error {
+				return experiments.Fig5(m, wl).WriteCSV(f)
+			})
+		}
+		if want(6) {
+			emit(fmt.Sprintf("fig6_%s_lbica_timeline.csv", wl), func(f *os.File) error {
+				return experiments.WriteFig6CSV(f, experiments.Fig6(m[wl][experiments.SchemeLBICA]))
+			})
+		}
+	}
+	if want(7) {
+		emit("fig7_avg_latency.csv", func(f *os.File) error {
+			return experiments.WriteFig7CSV(f, experiments.Fig7(m))
+		})
+	}
+
+	if *fig == 0 {
+		fmt.Println("\nheadline aggregates (LBICA improvement, positive = better):")
+		if err := experiments.WriteHeadlines(os.Stdout, experiments.ComputeHeadlines(m)); err != nil {
+			fail(err)
+		}
+		fmt.Println("\nLBICA decision timelines:")
+		for _, wl := range experiments.Workloads {
+			res := m[wl][experiments.SchemeLBICA]
+			fmt.Printf("  %s:\n", wl)
+			for _, pc := range res.Timeline {
+				fmt.Printf("    interval %3d: %-4s (%s)\n", pc.Interval, pc.Policy, pc.Group)
+			}
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "lbicabench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command lbicasim runs one workload under one scheme and prints the
+// per-interval statistics, the policy timeline, and a summary.
+//
+// Usage:
+//
+//	lbicasim -workload mail -scheme lbica
+//	lbicasim -workload tpcc -scheme wb -intervals 50 -csv
+//	lbicasim -workload web -scheme sib -trace run.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"lbica"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "tpcc", "workload: tpcc|mail|web|random-read|random-write|seq-read|seq-write|mixed")
+		scheme       = flag.String("scheme", "lbica", "scheme: wb|sib|lbica or a static policy wt|ro|wo|wtwo")
+		seed         = flag.Int64("seed", 1, "random seed (runs with equal seeds are bit-identical)")
+		intervals    = flag.Int("intervals", 0, "monitor intervals to run (0 = paper default for the workload)")
+		interval     = flag.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
+		rate         = flag.Float64("rate", 1, "workload IOPS scale factor")
+		csv          = flag.Bool("csv", false, "emit per-interval CSV instead of the table")
+		tracePath    = flag.String("trace", "", "write the binary block-layer trace to this file")
+		recordPath   = flag.String("record", "", "record the application request stream to this file")
+		replayPath   = flag.String("replay", "", "replay a request stream recorded with -record")
+		cacheMiB     = flag.Int("cache-mib", 0, "cache size in MiB (0 = default 256)")
+		cold         = flag.Bool("cold", false, "start with a cold cache (skip prewarm)")
+		configPath   = flag.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
+	)
+	flag.Parse()
+
+	opts := lbica.Options{
+		Workload:       *workloadName,
+		Scheme:         *scheme,
+		Seed:           *seed,
+		Intervals:      *intervals,
+		IntervalLength: *interval,
+		RateFactor:     *rate,
+		CacheMiB:       *cacheMiB,
+		DisablePrewarm: *cold,
+	}
+	if *configPath != "" {
+		f, err := os.Open(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+		opts, err = lbica.LoadOptions(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+	}
+
+	var closers []*os.File
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+		closers = append(closers, f)
+		opts.TraceWriter = f
+	}
+	if *recordPath != "" {
+		f, err := os.Create(*recordPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+		closers = append(closers, f)
+		opts.RecordTo = f
+	}
+	if *replayPath != "" {
+		f, err := os.Open(*replayPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+		closers = append(closers, f)
+		opts.ReplayFrom = f
+	}
+
+	report, err := lbica.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbicasim:", err)
+		os.Exit(1)
+	}
+	for _, f := range closers {
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+	}
+
+	if *csv {
+		if err := report.WriteCSV(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "lbicasim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("workload %s under %s (%d intervals × %v)\n\n",
+		report.Workload, report.Scheme, len(report.Intervals), *interval)
+	fmt.Printf("%8s %14s %14s %6s %6s %6s %6s %6s %12s\n",
+		"interval", "cacheQ(us)", "diskQ(us)", "burst", "R%", "W%", "P%", "E%", "avg_lat")
+	step := len(report.Intervals) / 50
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < len(report.Intervals); i += step {
+		iv := report.Intervals[i]
+		fmt.Printf("%8d %14.1f %14.1f %6v %6.1f %6.1f %6.1f %6.1f %12v\n",
+			iv.Index, iv.CacheLoadMicros, iv.DiskLoadMicros, iv.Burst,
+			iv.ReadPct, iv.WritePct, iv.PromotePct, iv.EvictPct, iv.AvgLatency.Round(time.Microsecond))
+	}
+
+	if len(report.Policies) > 0 {
+		fmt.Println("\npolicy timeline:")
+		for _, p := range report.Policies {
+			fmt.Printf("  interval %3d: %-4s (%s)\n", p.Interval, p.Policy, p.Group)
+		}
+	}
+
+	s := report.Summary
+	fmt.Printf("\nsummary: %d requests, hit ratio %.3f\n", s.Requests, s.HitRatio)
+	fmt.Printf("  latency: avg %v  p50 %v  p99 %v  max %v\n",
+		s.AvgLatency.Round(time.Microsecond), s.P50Latency.Round(time.Microsecond),
+		s.P99Latency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond))
+	fmt.Printf("  load: cache %.0fµs  disk %.0fµs (per-interval max-latency means)\n", s.CacheLoadMean, s.DiskLoadMean)
+	fmt.Printf("  bypassed to disk: %d, policy switches: %d\n", s.BypassedToDisk, s.PolicySwitches)
+	fmt.Printf("  utilization: ssd %.2f  disk %.2f\n", s.SSDUtilization, s.HDDUtilization)
+}

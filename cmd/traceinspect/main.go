@@ -1,0 +1,121 @@
+// Command traceinspect decodes a binary block-layer trace captured with
+// lbicasim -trace (or lbica.Options.TraceWriter) and reports on it: the
+// raw event stream, per-window R/W/P/E census, a characterization dry-run
+// showing what LBICA's classifier would decide window by window, or
+// whole-trace per-origin statistics.
+//
+// Usage:
+//
+//	traceinspect -mode dump run.trc | head
+//	traceinspect -mode census -window 200ms run.trc
+//	traceinspect -mode classify -window 200ms run.trc
+//	traceinspect -mode stats run.trc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/core"
+	"lbica/internal/trace"
+)
+
+func main() {
+	var (
+		mode   = flag.String("mode", "census", "dump | census | classify | stats")
+		window = flag.Duration("window", 200*time.Millisecond, "aggregation window for census/classify")
+		dev    = flag.String("dev", "ssd", "device queue to analyze: ssd | hdd")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: traceinspect [-mode dump|census|classify|stats] [-window 200ms] <trace-file>")
+		os.Exit(2)
+	}
+
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	defer f.Close()
+
+	var wantDev trace.Device
+	switch *dev {
+	case "ssd":
+		wantDev = trace.SSD
+	case "hdd":
+		wantDev = trace.HDD
+	default:
+		fail(fmt.Errorf("unknown device %q", *dev))
+	}
+
+	switch *mode {
+	case "dump":
+		err = dump(f)
+	case "census":
+		err = windows(f, wantDev, *window, false)
+	case "classify":
+		err = windows(f, wantDev, *window, true)
+	case "stats":
+		err = analyzeStats(f)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fail(err)
+	}
+}
+
+// dump streams the decoded events as text.
+func dump(r io.Reader) error {
+	tr := trace.NewReader(r)
+	for {
+		e, err := tr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Println(e)
+	}
+}
+
+// windows prints the per-window census, optionally with the LBICA
+// classifier's verdict per window.
+func windows(r io.Reader, dev trace.Device, win time.Duration, classify bool) error {
+	wins, err := trace.WindowCensus(r, dev, win)
+	if err != nil {
+		return err
+	}
+	th := core.DefaultThresholds()
+	for _, w := range wins {
+		c := w.Census
+		line := fmt.Sprintf("window %4d [%8v): n=%-6d R=%5.1f%% W=%5.1f%% P=%5.1f%% E=%5.1f%%",
+			w.Index, w.End, c.Total(),
+			100*c.Ratio(block.AppRead), 100*c.Ratio(block.AppWrite),
+			100*c.Ratio(block.Promote), 100*c.Ratio(block.Evict))
+		if classify {
+			line += "  → " + core.Classify(c, th).String()
+		}
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// analyzeStats prints the whole-trace per-origin breakdown.
+func analyzeStats(r io.Reader) error {
+	a, err := trace.Analyze(r)
+	if err != nil {
+		return err
+	}
+	return trace.WriteAnalysis(os.Stdout, a)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "traceinspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+package lbica
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestOptionsJSONRoundTrip(t *testing.T) {
+	orig := Options{
+		Workload:       "mail",
+		Scheme:         "lbica",
+		Seed:           7,
+		Intervals:      50,
+		IntervalLength: 150 * time.Millisecond,
+		RateFactor:     0.8,
+		Name:           "custom-mail",
+		CacheMiB:       128,
+		CacheWays:      4,
+		Replacement:    "fifo",
+		DiskElevator:   true,
+		DisablePrewarm: true,
+		Phases: []Phase{
+			{
+				Name: "p1", Duration: time.Second, BaseIOPS: 1000, BurstIOPS: 5000,
+				BurstOn: 50 * time.Millisecond, BurstOff: 100 * time.Millisecond,
+				ReadRatio: 0.7, Sequential: 0.1, WorkingSetBlocks: 1024,
+				BaseBlock: 99, ZipfExponent: 1.1, SizesSectors: []int64{8, 16},
+				WriteWorkingSetBlocks: 64, WriteBaseBlock: 4096, WriteZipfExponent: 0.5,
+			},
+		},
+	}
+	var buf bytes.Buffer
+	if err := SaveOptions(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadOptions(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, orig)
+	}
+}
+
+func TestLoadOptionsRejectsUnknownFields(t *testing.T) {
+	_, err := LoadOptions(strings.NewReader(`{"workload":"tpcc","typo_field":1}`))
+	if err == nil {
+		t.Error("unknown field must error")
+	}
+}
+
+func TestLoadOptionsRejectsBadDurations(t *testing.T) {
+	_, err := LoadOptions(strings.NewReader(`{"interval_length":"fast"}`))
+	if err == nil || !strings.Contains(err.Error(), "interval_length") {
+		t.Errorf("bad duration error = %v", err)
+	}
+	_, err = LoadOptions(strings.NewReader(`{"phases":[{"duration":"soon","base_iops":1,"read_ratio":1,"working_set_blocks":1}]}`))
+	if err == nil || !strings.Contains(err.Error(), "phases[0].duration") {
+		t.Errorf("bad phase duration error = %v", err)
+	}
+}
+
+func TestLoadedOptionsRun(t *testing.T) {
+	js := `{
+		"workload": "mixed",
+		"scheme": "wb",
+		"intervals": 6,
+		"interval_length": "100ms",
+		"rate_factor": 0.4,
+		"replacement": "rand"
+	}`
+	o, err := LoadOptions(strings.NewReader(js))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.Requests == 0 {
+		t.Error("config-driven run produced nothing")
+	}
+}
+
+func TestRunRejectsBadReplacement(t *testing.T) {
+	o := quick(WorkloadMixed, SchemeWB)
+	o.Replacement = "mru"
+	if _, err := Run(o); err == nil {
+		t.Error("bad replacement policy must error")
+	}
+}
+
+func TestDiskElevatorOptionRuns(t *testing.T) {
+	o := quick(WorkloadTPCC, SchemeLBICA)
+	o.DiskElevator = true
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Summary.Requests == 0 {
+		t.Error("elevator run produced nothing")
+	}
+}

@@ -1,0 +1,55 @@
+// Capacity: sweep the SSD cache size under the TPC-C burst workload and
+// compare how the WB baseline and LBICA degrade as the cache shrinks —
+// the capacity-planning question an operator of this stack actually has.
+//
+// A larger cache raises the hit ratio, which loads the cache tier even
+// harder during bursts; LBICA's advantage persists across sizes because it
+// sheds exactly the traffic the cache cannot usefully absorb.
+//
+//	go run ./examples/capacity
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"lbica"
+)
+
+func main() {
+	sizes := []int{64, 128, 256, 512}
+
+	fmt.Println("TPC-C, cache-size sweep (identical request stream everywhere)")
+	fmt.Println()
+	fmt.Printf("%10s | %-12s %-12s %-10s | %-12s %-12s %-10s | %s\n",
+		"cache MiB", "WB latency", "WB load µs", "WB hit",
+		"LBICA lat", "LBICA load", "LBICA hit", "latency win")
+
+	for _, mib := range sizes {
+		wb, err := lbica.Run(lbica.Options{
+			Workload: lbica.WorkloadTPCC, Scheme: lbica.SchemeWB, CacheMiB: mib,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lb, err := lbica.Run(lbica.Options{
+			Workload: lbica.WorkloadTPCC, Scheme: lbica.SchemeLBICA, CacheMiB: mib,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		win := 100 * (1 - float64(lb.Summary.AvgLatency)/float64(wb.Summary.AvgLatency))
+		fmt.Printf("%10d | %-12v %-12.0f %-10.3f | %-12v %-12.0f %-10.3f | %5.1f%%\n",
+			mib,
+			wb.Summary.AvgLatency.Round(time.Microsecond), wb.Summary.CacheLoadMean, wb.Summary.HitRatio,
+			lb.Summary.AvgLatency.Round(time.Microsecond), lb.Summary.CacheLoadMean, lb.Summary.HitRatio,
+			win)
+	}
+
+	fmt.Println()
+	fmt.Println("reading the sweep: with a tiny cache the *disk* is the bottleneck, so LBICA")
+	fmt.Println("(correctly) never arms; with a huge cache nearly every access hits and WO can")
+	fmt.Println("shed only the few promotes. LBICA pays off most in between — when the cache")
+	fmt.Println("attracts the load but cannot absorb the bursts.")
+}

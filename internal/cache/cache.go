@@ -1,0 +1,668 @@
+// Package cache implements the SSD I/O cache of the paper's stack — the
+// role EnhanceIO plays on the physical testbed: a set-associative,
+// LRU-per-set block cache with runtime-switchable write policies and the
+// promote/evict side-traffic that LBICA's characterizer observes.
+//
+// The cache is a pure metadata machine: it never performs I/O itself.
+// Access returns a Decision describing which device transfers the engine
+// must issue (SSD read/write, HDD read/write, deferred promote, victim
+// writebacks); the engine turns those into queued block requests.
+package cache
+
+import (
+	"fmt"
+	"time"
+
+	"lbica/internal/block"
+)
+
+// Policy is a cache write policy. LBICA's whole contribution is switching
+// this at runtime per Eq. 1 + workload characterization.
+type Policy uint8
+
+// Write policies.
+const (
+	// WB (write-back): read and write allocate; writes buffered dirty in
+	// the SSD; dirty victims are written back on eviction. The enterprise
+	// default and the paper's baseline.
+	WB Policy = iota
+	// WT (write-through): read and write allocate; writes go to SSD and
+	// HDD simultaneously and lines stay clean.
+	WT
+	// RO (read-only): read allocate; writes bypass to the HDD and
+	// invalidate any cached copy. LBICA assigns this for Group 2 (mixed
+	// read/write) bursts.
+	RO
+	// WO (write-only-allocate): read hits are served but read misses do
+	// not promote; writes are buffered dirty as in WB. LBICA assigns this
+	// for Group 1 (random read) bursts to kill promote traffic.
+	WO
+	// WTWO combines WT's through-writes with WO's no-read-allocate — the
+	// configuration the SIB baseline is designed around.
+	WTWO
+	numPolicies
+)
+
+// NumPolicies is the number of distinct policies.
+const NumPolicies = int(numPolicies)
+
+var policyNames = [...]string{"WB", "WT", "RO", "WO", "WTWO"}
+
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// ParsePolicy converts a name ("WB", "wt", ...) to a Policy.
+func ParsePolicy(s string) (Policy, error) {
+	for i, n := range policyNames {
+		if equalFold(s, n) {
+			return Policy(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown policy %q", s)
+}
+
+func equalFold(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'a' <= ca && ca <= 'z' {
+			ca -= 'a' - 'A'
+		}
+		if 'a' <= cb && cb <= 'z' {
+			cb -= 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}
+
+// line is one way of one set.
+type line struct {
+	tag      int64 // block number; -1 when invalid
+	dirty    bool
+	flushing bool
+	epoch    uint64 // bumped on every dirtying write; guards MarkClean
+	lastUse  uint64 // global LRU tick
+	loadedAt uint64 // tick at allocation (FIFO replacement)
+}
+
+// Victim identifies an evicted block. Dirty victims cost an SSD read (E)
+// plus an HDD write (writeback); clean victims are metadata-only.
+type Victim struct {
+	Block int64
+	Dirty bool
+	Epoch uint64
+}
+
+// Decision tells the engine which transfers to issue for one application
+// request.
+type Decision struct {
+	// Hit reports whether every covered block was valid (read) / present
+	// (write) in the cache.
+	Hit bool
+	// CacheRead: serve the read from the SSD (origin AppRead).
+	CacheRead bool
+	// DiskRead: read from the HDD (origin ReadMiss).
+	DiskRead bool
+	// CacheWrite: buffer the write in the SSD (origin AppWrite).
+	CacheWrite bool
+	// DiskWrite: write to the HDD (origin BypassWrite) — RO bypass or the
+	// through-leg of WT/WTWO.
+	DiskWrite bool
+	// Promote: after the disk read completes, fill the SSD (origin
+	// Promote).
+	Promote bool
+	// Victims evicted to make room; issue their writebacks.
+	Victims []Victim
+}
+
+// Stats is the cache's cumulative accounting.
+type Stats struct {
+	Reads, Writes             uint64
+	ReadHits, ReadMisses      uint64
+	WriteHits, WriteMisses    uint64
+	Promotes                  uint64
+	CleanEvicts, DirtyEvicts  uint64
+	Invalidations             uint64
+	FlushesStarted, Flushed   uint64
+	PolicySwitches            uint64
+	BypassedReads, BypassedWr uint64 // balancer-initiated bypasses, recorded via NoteBypass
+}
+
+// HitRatio returns overall hit ratio in [0,1].
+func (s Stats) HitRatio() float64 {
+	total := s.Reads + s.Writes
+	if total == 0 {
+		return 0
+	}
+	return float64(s.ReadHits+s.WriteHits) / float64(total)
+}
+
+// Replacement selects the victim within a set, mirroring EnhanceIO's
+// replacement-policy module parameter (lru, fifo, rand).
+type Replacement uint8
+
+// Replacement policies.
+const (
+	// LRU evicts the least recently used way (EnhanceIO's default).
+	LRU Replacement = iota
+	// FIFO evicts the way resident longest, regardless of use.
+	FIFO
+	// Random evicts a pseudo-random way (cheap, no metadata updates on
+	// hits; EnhanceIO offers it for metadata-bandwidth-constrained
+	// setups).
+	Random
+)
+
+var replacementNames = [...]string{"lru", "fifo", "rand"}
+
+func (r Replacement) String() string {
+	if int(r) < len(replacementNames) {
+		return replacementNames[r]
+	}
+	return fmt.Sprintf("Replacement(%d)", uint8(r))
+}
+
+// ParseReplacement converts a name ("lru", "fifo", "rand") to a
+// Replacement.
+func ParseReplacement(s string) (Replacement, error) {
+	for i, n := range replacementNames {
+		if equalFold(s, n) {
+			return Replacement(i), nil
+		}
+	}
+	return 0, fmt.Errorf("cache: unknown replacement policy %q", s)
+}
+
+// Config sizes the cache.
+type Config struct {
+	// BlockSectors is the cache block size in sectors (default 8 = 4 KiB).
+	BlockSectors int64
+	// Sets × Ways = capacity in blocks.
+	Sets int
+	Ways int
+	// InitialPolicy is the starting write policy (default WB).
+	InitialPolicy Policy
+	// Replacement selects the in-set victim policy (default LRU).
+	Replacement Replacement
+	// ReplacementSeed seeds the Random replacement's generator.
+	ReplacementSeed int64
+	// DirtyHighWatermark / DirtyLowWatermark bound the background flusher:
+	// it starts above high and stops below low (fractions of capacity).
+	DirtyHighWatermark float64
+	DirtyLowWatermark  float64
+}
+
+// DefaultConfig returns a 64Ki-block (256 MiB at 4 KiB blocks), 8-way
+// configuration with EnhanceIO-like flush watermarks.
+func DefaultConfig() Config {
+	return Config{
+		BlockSectors:       8,
+		Sets:               8192,
+		Ways:               8,
+		InitialPolicy:      WB,
+		DirtyHighWatermark: 0.7,
+		DirtyLowWatermark:  0.5,
+	}
+}
+
+// Cache is the set-associative cache metadata machine.
+type Cache struct {
+	cfg    Config
+	policy Policy
+	sets   [][]line
+	tick   uint64
+	dirty  int
+	valid  int
+	stats  Stats
+	rndSt  uint64 // xorshift state for Random replacement
+}
+
+// New builds a cache. Invalid geometry panics: the caller controls config.
+func New(cfg Config) *Cache {
+	if cfg.BlockSectors <= 0 {
+		cfg.BlockSectors = 8
+	}
+	if cfg.Sets <= 0 || cfg.Ways <= 0 {
+		panic("cache: Sets and Ways must be positive")
+	}
+	if cfg.DirtyHighWatermark == 0 {
+		cfg.DirtyHighWatermark = 0.7
+	}
+	if cfg.DirtyLowWatermark == 0 {
+		cfg.DirtyLowWatermark = 0.5
+	}
+	c := &Cache{cfg: cfg, policy: cfg.InitialPolicy, rndSt: uint64(cfg.ReplacementSeed)*2654435761 + 0x9e3779b97f4a7c15}
+	c.sets = make([][]line, cfg.Sets)
+	backing := make([]line, cfg.Sets*cfg.Ways)
+	for i := range backing {
+		backing[i].tag = -1
+	}
+	for s := 0; s < cfg.Sets; s++ {
+		c.sets[s], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c
+}
+
+// Policy returns the current write policy.
+func (c *Cache) Policy() Policy { return c.policy }
+
+// SetPolicy switches the write policy at runtime (LBICA's actuator).
+func (c *Cache) SetPolicy(p Policy) {
+	if p != c.policy {
+		c.stats.PolicySwitches++
+	}
+	c.policy = p
+}
+
+// Stats returns a copy of the cumulative statistics.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Capacity returns total capacity in blocks.
+func (c *Cache) Capacity() int { return c.cfg.Sets * c.cfg.Ways }
+
+// ValidCount returns the number of valid blocks.
+func (c *Cache) ValidCount() int { return c.valid }
+
+// DirtyCount returns the number of dirty blocks.
+func (c *Cache) DirtyCount() int { return c.dirty }
+
+// DirtyRatio returns dirty blocks over capacity.
+func (c *Cache) DirtyRatio() float64 {
+	return float64(c.dirty) / float64(c.Capacity())
+}
+
+// BlockSectors returns the cache block size in sectors.
+func (c *Cache) BlockSectors() int64 { return c.cfg.BlockSectors }
+
+// BlockOf returns the block number containing the given LBA.
+func (c *Cache) BlockOf(lba int64) int64 { return lba / c.cfg.BlockSectors }
+
+// BlockExtent returns the device extent of a cache block.
+func (c *Cache) BlockExtent(blockNum int64) block.Extent {
+	return block.Extent{LBA: blockNum * c.cfg.BlockSectors, Sectors: c.cfg.BlockSectors}
+}
+
+// blocksOf enumerates the block numbers an extent covers.
+func (c *Cache) blocksOf(e block.Extent) (first, last int64) {
+	return e.LBA / c.cfg.BlockSectors, (e.End() - 1) / c.cfg.BlockSectors
+}
+
+func (c *Cache) setOf(blockNum int64) []line {
+	s := blockNum % int64(c.cfg.Sets)
+	if s < 0 {
+		s = -s
+	}
+	return c.sets[s]
+}
+
+// find returns the way holding blockNum, or nil.
+func (c *Cache) find(blockNum int64) *line {
+	set := c.setOf(blockNum)
+	for i := range set {
+		if set[i].tag == blockNum {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Contains reports whether blockNum is cached (valid).
+func (c *Cache) Contains(blockNum int64) bool { return c.find(blockNum) != nil }
+
+// DirtyIn reports whether any block covered by e is dirty — the safety
+// check before a balancer re-routes a queued read to the disk tier (dirty
+// data exists only on the SSD).
+func (c *Cache) DirtyIn(e block.Extent) bool {
+	first, last := c.blocksOf(e)
+	for b := first; b <= last; b++ {
+		if l := c.find(b); l != nil && l.dirty {
+			return true
+		}
+	}
+	return false
+}
+
+// touch refreshes LRU state.
+func (c *Cache) touch(l *line) {
+	c.tick++
+	l.lastUse = c.tick
+}
+
+// allocate installs blockNum in its set, evicting the LRU victim if the set
+// is full. Returns the line and, if an eviction occurred, the victim.
+// Lines already present are returned as-is.
+func (c *Cache) allocate(blockNum int64) (*line, *Victim) {
+	if l := c.find(blockNum); l != nil {
+		c.touch(l)
+		return l, nil
+	}
+	set := c.setOf(blockNum)
+	// Prefer an invalid way.
+	var choice *line
+	for i := range set {
+		if set[i].tag == -1 {
+			choice = &set[i]
+			break
+		}
+	}
+	var victim *Victim
+	if choice == nil {
+		choice = c.pickVictim(set)
+		v := Victim{Block: choice.tag, Dirty: choice.dirty && !choice.flushing, Epoch: choice.epoch}
+		victim = &v
+		if choice.dirty {
+			c.dirty--
+			if v.Dirty {
+				c.stats.DirtyEvicts++
+			} else {
+				c.stats.CleanEvicts++ // flush in flight covers persistence
+			}
+		} else {
+			c.stats.CleanEvicts++
+		}
+		c.valid--
+	}
+	choice.tag = blockNum
+	choice.dirty = false
+	choice.flushing = false
+	choice.epoch = 0
+	c.valid++
+	c.touch(choice)
+	choice.loadedAt = c.tick
+	return choice, victim
+}
+
+// pickVictim selects the way to evict per the configured replacement
+// policy, preferring lines not mid-flush (their writeback is already in
+// flight; evicting them as clean is safe but avoided when any alternative
+// exists).
+func (c *Cache) pickVictim(set []line) *line {
+	score := func(l *line) uint64 {
+		switch c.cfg.Replacement {
+		case FIFO:
+			return l.loadedAt
+		case Random:
+			// xorshift64*: cheap deterministic pseudo-randomness.
+			c.rndSt ^= c.rndSt << 13
+			c.rndSt ^= c.rndSt >> 7
+			c.rndSt ^= c.rndSt << 17
+			return c.rndSt
+		default:
+			return l.lastUse
+		}
+	}
+	var best, bestAny *line
+	var bestScore, bestAnyScore uint64
+	for i := range set {
+		l := &set[i]
+		s := score(l)
+		if bestAny == nil || s < bestAnyScore {
+			bestAny, bestAnyScore = l, s
+		}
+		if !l.flushing && (best == nil || s < bestScore) {
+			best, bestScore = l, s
+		}
+	}
+	if best == nil {
+		return bestAny
+	}
+	return best
+}
+
+// markDirty transitions a line to dirty.
+func (c *Cache) markDirty(l *line) {
+	if !l.dirty {
+		l.dirty = true
+		c.dirty++
+	}
+	l.flushing = false
+	l.epoch++
+}
+
+// Access applies the current policy to one application request and returns
+// the transfers the engine must issue. now is unused for decisions but
+// stamped into nothing here — timing lives in the engine; it is accepted so
+// future replacement policies can be recency-in-time based.
+func (c *Cache) Access(op block.Op, e block.Extent, now time.Duration) Decision {
+	if op == block.Read {
+		return c.read(e)
+	}
+	return c.write(e)
+}
+
+func (c *Cache) read(e block.Extent) Decision {
+	c.stats.Reads++
+	first, last := c.blocksOf(e)
+	allHit := true
+	for b := first; b <= last; b++ {
+		if l := c.find(b); l != nil {
+			c.touch(l)
+		} else {
+			allHit = false
+		}
+	}
+	if allHit {
+		c.stats.ReadHits++
+		return Decision{Hit: true, CacheRead: true}
+	}
+	c.stats.ReadMisses++
+	d := Decision{DiskRead: true}
+	// Promote on miss unless the policy forbids read allocation.
+	if c.policy == WO || c.policy == WTWO {
+		return d
+	}
+	d.Promote = true
+	for b := first; b <= last; b++ {
+		if c.find(b) != nil {
+			continue
+		}
+		_, v := c.allocate(b)
+		if v != nil {
+			d.Victims = append(d.Victims, *v)
+		}
+	}
+	c.stats.Promotes++
+	return d
+}
+
+func (c *Cache) write(e block.Extent) Decision {
+	c.stats.Writes++
+	first, last := c.blocksOf(e)
+	present := true
+	for b := first; b <= last; b++ {
+		if c.find(b) == nil {
+			present = false
+			break
+		}
+	}
+	if present {
+		c.stats.WriteHits++
+	} else {
+		c.stats.WriteMisses++
+	}
+
+	switch c.policy {
+	case RO:
+		// Writes bypass; drop any stale cached copy.
+		for b := first; b <= last; b++ {
+			c.invalidate(b)
+		}
+		return Decision{Hit: present, DiskWrite: true}
+	case WB, WO:
+		d := Decision{Hit: present, CacheWrite: true}
+		for b := first; b <= last; b++ {
+			l, v := c.allocate(b)
+			c.markDirty(l)
+			if v != nil {
+				d.Victims = append(d.Victims, *v)
+			}
+		}
+		return d
+	default: // WT, WTWO — through-write, clean allocate
+		d := Decision{Hit: present, CacheWrite: true, DiskWrite: true}
+		for b := first; b <= last; b++ {
+			l, v := c.allocate(b)
+			if l.dirty {
+				// A through-write over a previously dirty line cleans it:
+				// the disk leg persists the latest data.
+				l.dirty = false
+				l.flushing = false
+				c.dirty--
+			}
+			l.epoch++
+			if v != nil {
+				d.Victims = append(d.Victims, *v)
+			}
+		}
+		return d
+	}
+}
+
+// invalidate drops blockNum if cached. Dirty data is dropped too — callers
+// only invalidate when the up-to-date data is on its way to the disk.
+func (c *Cache) invalidate(blockNum int64) {
+	l := c.find(blockNum)
+	if l == nil {
+		return
+	}
+	if l.dirty {
+		c.dirty--
+	}
+	l.tag = -1
+	l.dirty = false
+	l.flushing = false
+	c.valid--
+	c.stats.Invalidations++
+}
+
+// Invalidate drops every cached block covered by e.
+func (c *Cache) Invalidate(e block.Extent) {
+	first, last := c.blocksOf(e)
+	for b := first; b <= last; b++ {
+		c.invalidate(b)
+	}
+}
+
+// NoteBypass records a balancer-initiated bypass for accounting.
+func (c *Cache) NoteBypass(op block.Op) {
+	if op == block.Read {
+		c.stats.BypassedReads++
+	} else {
+		c.stats.BypassedWr++
+	}
+}
+
+// DirtyBlock identifies a dirty line picked for background flushing.
+type DirtyBlock struct {
+	Block int64
+	Epoch uint64
+}
+
+// CollectDirty picks up to max dirty, non-flushing lines (oldest first
+// within each set scan) and marks them flushing. The engine issues an SSD
+// read (Evict) + HDD write (Writeback) per block and calls MarkClean when
+// the writeback completes.
+func (c *Cache) CollectDirty(max int) []DirtyBlock {
+	if max <= 0 {
+		return nil
+	}
+	out := make([]DirtyBlock, 0, max)
+	for s := range c.sets {
+		set := c.sets[s]
+		for i := range set {
+			l := &set[i]
+			if l.tag >= 0 && l.dirty && !l.flushing {
+				l.flushing = true
+				c.stats.FlushesStarted++
+				out = append(out, DirtyBlock{Block: l.tag, Epoch: l.epoch})
+				if len(out) == max {
+					return out
+				}
+			}
+		}
+	}
+	return out
+}
+
+// MarkClean completes a flush: the line becomes clean unless it was
+// rewritten (epoch advanced) or replaced since CollectDirty.
+func (c *Cache) MarkClean(blockNum int64, epoch uint64) {
+	l := c.find(blockNum)
+	if l == nil || l.epoch != epoch {
+		return
+	}
+	if l.dirty {
+		l.dirty = false
+		c.dirty--
+		c.stats.Flushed++
+	}
+	l.flushing = false
+}
+
+// NeedsFlush reports whether the dirty ratio exceeds the high watermark.
+func (c *Cache) NeedsFlush() bool {
+	return c.DirtyRatio() > c.cfg.DirtyHighWatermark
+}
+
+// FlushSatisfied reports whether the dirty ratio is below the low
+// watermark (the flusher's stop condition).
+func (c *Cache) FlushSatisfied() bool {
+	return c.DirtyRatio() < c.cfg.DirtyLowWatermark
+}
+
+// Prewarm installs the given blocks as valid and clean without generating
+// I/O — the paper's "workload has passed its warm-up interval" assumption.
+func (c *Cache) Prewarm(blocks []int64) {
+	for _, b := range blocks {
+		l, _ := c.allocate(b)
+		_ = l
+	}
+}
+
+// CheckInvariants validates internal consistency; tests call it after
+// random operation sequences. It returns nil when consistent.
+func (c *Cache) CheckInvariants() error {
+	valid, dirty := 0, 0
+	seen := make(map[int64]bool)
+	for s := range c.sets {
+		for i := range c.sets[s] {
+			l := &c.sets[s][i]
+			if l.tag == -1 {
+				if l.dirty || l.flushing {
+					return fmt.Errorf("invalid line with dirty/flushing state in set %d", s)
+				}
+				continue
+			}
+			if seen[l.tag] {
+				return fmt.Errorf("block %d cached twice", l.tag)
+			}
+			seen[l.tag] = true
+			if want := l.tag % int64(c.cfg.Sets); want != int64(s) {
+				return fmt.Errorf("block %d in wrong set %d (want %d)", l.tag, s, want)
+			}
+			valid++
+			if l.dirty {
+				dirty++
+			}
+		}
+	}
+	if valid != c.valid {
+		return fmt.Errorf("valid count %d != tracked %d", valid, c.valid)
+	}
+	if dirty != c.dirty {
+		return fmt.Errorf("dirty count %d != tracked %d", dirty, c.dirty)
+	}
+	if dirty > valid {
+		return fmt.Errorf("dirty %d exceeds valid %d", dirty, valid)
+	}
+	return nil
+}

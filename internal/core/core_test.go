@@ -1,0 +1,298 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/cache"
+	"lbica/internal/engine"
+	"lbica/internal/iostat"
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+func census(r, w, p, e int) block.Census {
+	var c block.Census
+	c[block.AppRead] = r
+	c[block.AppWrite] = w
+	c[block.Promote] = p
+	c[block.Evict] = e
+	return c
+}
+
+// Every census mix the paper quotes in §IV-C must classify into the group
+// the paper assigns.
+func TestClassifyPaperMixes(t *testing.T) {
+	th := DefaultThresholds()
+	cases := []struct {
+		name       string
+		r, w, p, e int
+		want       Group
+	}{
+		// TPC-C interval 3: R 44%, W 2.2%, P 51%, E 2.8% → random read.
+		{"tpcc-iv3", 440, 22, 510, 28, Group1RandomRead},
+		// Mail interval 23: R 13.9%, W 70.4%, P 3.9%, E 11.8% → mixed RW.
+		{"mail-iv23", 139, 704, 39, 118, Group2MixedRW},
+		// Mail interval 128: majority R and P → random read.
+		{"mail-iv128", 450, 30, 490, 30, Group1RandomRead},
+		// Mail interval 134: W+E about 90% → write intensive.
+		{"mail-iv134", 60, 700, 40, 200, Group3RandomWrite},
+		// Web interval 1: R 17.9%, W 63.8%, P 7.9%, E 10.4% → mixed RW.
+		{"web-iv1", 179, 638, 79, 104, Group2MixedRW},
+	}
+	for _, c := range cases {
+		if got := Classify(census(c.r, c.w, c.p, c.e), th); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClassifyGroup4BeatsGroup1(t *testing.T) {
+	// A 70% promote queue is a sequential-read signature even though R+P
+	// also dominates.
+	if got := Classify(census(200, 50, 700, 50), DefaultThresholds()); got != Group4SeqRead {
+		t.Errorf("got %v, want Group4SeqRead", got)
+	}
+}
+
+func TestClassifyGroup3SeqWrite(t *testing.T) {
+	// Evicts outnumbering writes → sequential write.
+	if got := Classify(census(20, 300, 30, 650), DefaultThresholds()); got != Group3SeqWrite {
+		t.Errorf("got %v, want Group3SeqWrite", got)
+	}
+}
+
+func TestClassifyImpossibleMixesUnknown(t *testing.T) {
+	th := DefaultThresholds()
+	// R+E dominant and W+P dominant "may not occur" (paper §III-B).
+	if got := Classify(census(500, 30, 30, 440), th); got != GroupUnknown {
+		t.Errorf("R+E mix classified as %v", got)
+	}
+	if got := Classify(census(30, 500, 440, 30), th); got != GroupUnknown {
+		t.Errorf("W+P mix classified as %v", got)
+	}
+}
+
+func TestClassifyEmptyAndTinyQueues(t *testing.T) {
+	th := DefaultThresholds()
+	if got := Classify(block.Census{}, th); got != GroupUnknown {
+		t.Errorf("empty census = %v", got)
+	}
+	if got := Classify(census(3, 0, 3, 0), th); got != GroupUnknown {
+		t.Errorf("under-populated census = %v", got)
+	}
+}
+
+// Property: classification is scale-invariant — multiplying every count by
+// a constant never changes the group.
+func TestClassifyScaleInvariantProperty(t *testing.T) {
+	th := DefaultThresholds()
+	f := func(r, w, p, e uint8, k uint8) bool {
+		scale := int(k%16) + 2
+		base := census(int(r), int(w), int(p), int(e))
+		if base.Total() < th.MinQueued {
+			return true
+		}
+		scaled := census(int(r)*scale, int(w)*scale, int(p)*scale, int(e)*scale)
+		return Classify(base, th) == Classify(scaled, th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGroupPolicyTable(t *testing.T) {
+	want := map[Group]cache.Policy{
+		Group1RandomRead:  cache.WO,
+		Group2MixedRW:     cache.RO,
+		Group3RandomWrite: cache.WB,
+		Group3SeqWrite:    cache.WB,
+		Group4SeqRead:     cache.WB,
+		GroupUnknown:      cache.WB,
+	}
+	for g, p := range want {
+		if got := g.Policy(); got != p {
+			t.Errorf("%v.Policy() = %v, want %v", g, got, p)
+		}
+	}
+}
+
+// stackForBalancer builds a small stack with l attached and returns both.
+func stackForBalancer(l *LBICA) *engine.Stack {
+	cfg := engine.DefaultConfig()
+	cfg.Cache.Sets = 256
+	cfg.Cache.Ways = 4
+	cfg.PrewarmBlocks = 0
+	cfg.MonitorEvery = 50 * time.Millisecond
+	gen := workload.RandomRead(10*time.Millisecond, 100, 64, sim.NewRNG(1, "wl"))
+	return engine.New(cfg, gen, l)
+}
+
+// feedSample pushes a synthetic closed interval into the balancer by
+// ticking the monitor with a staged queue census. Building the queue state
+// by hand keeps these tests device-independent. Interval boundaries are
+// synthesized 1 ms apart so the monitor's time-averaged depths track the
+// staged queues.
+func feedSample(st *engine.Stack, c block.Census, bottleneck bool) {
+	prevTick := time.Duration(len(st.Monitor().Samples())) * time.Millisecond
+	// Populate the SSD queue so that the census and depth match c.
+	for q := st.SSDQueue(); q.Depth() > 0; {
+		q.Pop()
+	}
+	lba := int64(1 << 30)
+	for o := block.Origin(0); int(o) < block.NumOrigins; o++ {
+		for i := 0; i < c[o]; i++ {
+			st.SSDQueue().Push(&block.Request{Origin: o, Extent: block.Extent{LBA: lba, Sectors: 8}}, prevTick)
+			lba += 1024
+		}
+	}
+	st.Monitor().NoteDepth(iostat.SSD, prevTick)
+	if !bottleneck {
+		// Pile the disk queue high enough that the disk side dominates.
+		for i := 0; i < 2*c.Total()+64; i++ {
+			st.HDDQueue().Push(&block.Request{Origin: block.ReadMiss, Extent: block.Extent{LBA: lba, Sectors: 8}}, prevTick)
+			lba += 1024
+		}
+	} else {
+		for q := st.HDDQueue(); q.Depth() > 0; {
+			q.Pop()
+		}
+	}
+	st.Monitor().NoteDepth(iostat.HDD, prevTick)
+	st.Monitor().Tick(prevTick + time.Millisecond)
+}
+
+func TestLBICAAssignsWOForRandomReadBurst(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(44, 2, 51, 3), true)
+	if st.Cache().Policy() != cache.WO {
+		t.Fatalf("policy = %v, want WO", st.Cache().Policy())
+	}
+	if l.Group() != Group1RandomRead {
+		t.Errorf("group = %v", l.Group())
+	}
+}
+
+func TestLBICAAssignsROForMixedBurst(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(14, 70, 4, 12), true)
+	if st.Cache().Policy() != cache.RO {
+		t.Fatalf("policy = %v, want RO", st.Cache().Policy())
+	}
+}
+
+func TestLBICAGroup3KeepsWBAndBypassesTail(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(5, 700, 3, 92), true)
+	if st.Cache().Policy() != cache.WB {
+		t.Fatalf("policy = %v, want WB", st.Cache().Policy())
+	}
+	if l.Group() != Group3RandomWrite {
+		t.Fatalf("group = %v", l.Group())
+	}
+	if l.TailBypassed() == 0 {
+		t.Error("Group-3 burst did not bypass the queue tail")
+	}
+}
+
+func TestLBICARevertsAfterClearIntervals(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BurstOff = 2
+	l := New(cfg)
+	st := stackForBalancer(l)
+	feedSample(st, census(44, 2, 51, 3), true)
+	if st.Cache().Policy() != cache.WO {
+		t.Fatal("setup: WO not assigned")
+	}
+	feedSample(st, census(0, 0, 0, 0), false)
+	if st.Cache().Policy() != cache.WO {
+		t.Fatal("reverted before hysteresis expired")
+	}
+	feedSample(st, census(0, 0, 0, 0), false)
+	if st.Cache().Policy() != cache.WB {
+		t.Fatalf("policy = %v, want WB after %d clear intervals", st.Cache().Policy(), cfg.BurstOff)
+	}
+	if l.Reverts() == 0 && l.Group() != GroupUnknown {
+		t.Error("revert not tracked")
+	}
+}
+
+func TestLBICABurstOnHysteresis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BurstOn = 3
+	l := New(cfg)
+	st := stackForBalancer(l)
+	feedSample(st, census(44, 2, 51, 3), true)
+	feedSample(st, census(44, 2, 51, 3), true)
+	if st.Cache().Policy() != cache.WB {
+		t.Fatal("armed before BurstOn consecutive bottleneck intervals")
+	}
+	feedSample(st, census(44, 2, 51, 3), true)
+	if st.Cache().Policy() != cache.WO {
+		t.Fatal("not armed after BurstOn intervals")
+	}
+}
+
+func TestLBICAFollowsPhaseChange(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(44, 2, 51, 3), true)  // G1 → WO
+	feedSample(st, census(14, 70, 4, 12), true) // workload morphs → G2 → RO
+	if st.Cache().Policy() != cache.RO {
+		t.Fatalf("policy = %v, want RO after recharacterization", st.Cache().Policy())
+	}
+}
+
+func TestLBICAUnknownCensusKeepsPolicy(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(44, 2, 51, 3), true)     // G1 → WO
+	feedSample(st, census(500, 30, 30, 440), true) // impossible mix
+	if st.Cache().Policy() != cache.WO {
+		t.Fatalf("policy churned on unknown census: %v", st.Cache().Policy())
+	}
+}
+
+func TestLBICAAdmitBypassesG3WritesOverThreshold(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(5, 700, 3, 92), true) // arm G3
+	// The arming tail-bypass parked requests on the disk queue; drain it so
+	// bypassing is attractive again, then refill the SSD queue deep.
+	for st.HDDQueue().Depth() > 0 {
+		st.HDDQueue().Pop()
+	}
+	lba := int64(1 << 31)
+	for i := 0; i < 5000; i++ {
+		st.SSDQueue().Push(&block.Request{Origin: block.AppWrite, Extent: block.Extent{LBA: lba, Sectors: 8}}, st.Now())
+		lba += 1024
+	}
+	if l.Admit(block.Write, block.Extent{LBA: 0, Sectors: 8}) {
+		t.Error("deep-queue G3 write must be bypassed")
+	}
+	if !l.Admit(block.Read, block.Extent{LBA: 0, Sectors: 8}) {
+		t.Error("reads are never admission-bypassed")
+	}
+	// Drain the queue: writes admitted again.
+	for st.SSDQueue().Depth() > 0 {
+		st.SSDQueue().Pop()
+	}
+	if !l.Admit(block.Write, block.Extent{LBA: 0, Sectors: 8}) {
+		t.Error("shallow-queue G3 write must be admitted")
+	}
+}
+
+func TestLBICAAdmitAlwaysTrueOutsideG3(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSample(st, census(44, 2, 51, 3), true) // G1
+	_ = st
+	if !l.Admit(block.Write, block.Extent{LBA: 0, Sectors: 8}) {
+		t.Error("G1 writes must be admitted (WO handles them)")
+	}
+}

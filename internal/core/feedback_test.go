@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/cache"
+	"lbica/internal/engine"
+	"lbica/internal/iostat"
+)
+
+// feedSampleWithDemand is feedSample plus a synthetic per-interval
+// application-completion count, which drives the demand-hold logic.
+func feedSampleWithDemand(st *engine.Stack, c block.Census, bottleneck bool, appDone int) {
+	prevTick := time.Duration(len(st.Monitor().Samples())) * time.Millisecond
+	for i := 0; i < appDone; i++ {
+		st.Monitor().NoteAppDone(100 * time.Microsecond)
+	}
+	feedSampleAt(st, c, bottleneck, prevTick)
+}
+
+// feedSampleAt stages the queues and ticks the monitor at prevTick+1ms.
+func feedSampleAt(st *engine.Stack, c block.Census, bottleneck bool, prevTick time.Duration) {
+	for q := st.SSDQueue(); q.Depth() > 0; {
+		q.Pop()
+	}
+	lba := int64(1 << 30)
+	for o := block.Origin(0); int(o) < block.NumOrigins; o++ {
+		for i := 0; i < c[o]; i++ {
+			st.SSDQueue().Push(&block.Request{Origin: o, Extent: block.Extent{LBA: lba, Sectors: 8}}, prevTick)
+			lba += 1024
+		}
+	}
+	st.Monitor().NoteDepth(iostat.SSD, prevTick)
+	if !bottleneck {
+		for i := 0; i < 2*c.Total()+64; i++ {
+			st.HDDQueue().Push(&block.Request{Origin: block.ReadMiss, Extent: block.Extent{LBA: lba, Sectors: 8}}, prevTick)
+			lba += 1024
+		}
+	} else {
+		for q := st.HDDQueue(); q.Depth() > 0; {
+			q.Pop()
+		}
+	}
+	st.Monitor().NoteDepth(iostat.HDD, prevTick)
+	st.Monitor().Tick(prevTick + time.Millisecond)
+}
+
+// The demand hold: with the offered load high, clear intervals must not
+// revert the policy; with it low, they must.
+func TestDemandHoldKeepsPolicyUnderLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.BurstOff = 2
+	l := New(cfg)
+	st := stackForBalancer(l)
+	feedSampleWithDemand(st, census(44, 2, 51, 3), true, 0)
+	if st.Cache().Policy() != cache.WO {
+		t.Fatal("setup: WO not armed")
+	}
+	// The interval is 1 ms of virtual time; 14 completions at ~75 µs of
+	// SSD service each ≈ utilization 1.05 ≫ the 0.4 hold threshold.
+	for i := 0; i < 6; i++ {
+		feedSampleWithDemand(st, census(0, 0, 0, 0), false, 14)
+	}
+	if st.Cache().Policy() != cache.WO {
+		t.Fatal("demand hold failed: policy reverted while the offered load was high")
+	}
+	// Load vanishes → the demand EWMA decays below the hold threshold and
+	// the policy reverts after BurstOff further clear intervals.
+	for i := 0; i < 10; i++ {
+		feedSampleWithDemand(st, census(0, 0, 0, 0), false, 0)
+	}
+	if st.Cache().Policy() != cache.WB {
+		t.Fatalf("policy = %v, want WB after quiet intervals", st.Cache().Policy())
+	}
+}
+
+func TestHoldDisabled(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.HoldUtilization = 0
+	cfg.BurstOff = 1
+	l := New(cfg)
+	st := stackForBalancer(l)
+	feedSampleWithDemand(st, census(44, 2, 51, 3), true, 0)
+	feedSampleWithDemand(st, census(0, 0, 0, 0), false, 1000) // demand high but hold disabled
+	if st.Cache().Policy() != cache.WB {
+		t.Fatal("hold disabled but policy survived a clear interval")
+	}
+}
+
+// Census reconstruction: a random-read burst that stays bottlenecked under
+// WO presents an R-only queue; the suppressed promotes (read misses) must
+// keep the classification at Group 1 rather than flipping it.
+func TestReconstructionKeepsG1UnderWO(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSampleWithDemand(st, census(44, 2, 51, 3), true, 0) // arm WO
+	if l.Group() != Group1RandomRead {
+		t.Fatal("setup failed")
+	}
+	// Generate read misses through the cache (WO: no promotes appear in
+	// the queue census, but the misses are counted in cache stats).
+	for i := int64(0); i < 30; i++ {
+		st.Cache().Access(block.Read, block.Extent{LBA: (1 << 25) + i*1024, Sectors: 8}, 0)
+	}
+	// The raw queue census is pure R — without reconstruction this reads
+	// "reads only"; with it, P ≈ misses and G1 persists with WO in force.
+	feedSampleWithDemand(st, census(40, 0, 0, 0), true, 0)
+	if st.Cache().Policy() != cache.WO {
+		t.Fatalf("policy = %v, want WO preserved by census reconstruction", st.Cache().Policy())
+	}
+	if l.Group() != Group1RandomRead {
+		t.Fatalf("group = %v", l.Group())
+	}
+}
+
+// When suppressed promotes dominate the reconstructed census (≥ the
+// Group-4 threshold), the workload genuinely looks like streaming misses
+// and LBICA hands it back to WB — the paper's Group-4 rule.
+func TestReconstructionPromoteFloodBecomesG4(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSampleWithDemand(st, census(44, 2, 51, 3), true, 0) // arm WO
+	for i := int64(0); i < 90; i++ {
+		st.Cache().Access(block.Read, block.Extent{LBA: (1 << 27) + i*1024, Sectors: 8}, 0)
+	}
+	feedSampleWithDemand(st, census(30, 0, 0, 0), true, 0) // P share 0.75 → G4
+	if l.Group() != Group4SeqRead {
+		t.Fatalf("group = %v, want G4", l.Group())
+	}
+	if st.Cache().Policy() != cache.WB {
+		t.Fatalf("policy = %v, want WB for G4", st.Cache().Policy())
+	}
+}
+
+// Under RO, diverted writes vanish from the queue; the reconstruction must
+// re-add them so a mixed workload stays Group 2.
+func TestReconstructionKeepsG2UnderRO(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSampleWithDemand(st, census(14, 70, 4, 12), true, 0) // arm RO
+	if st.Cache().Policy() != cache.RO {
+		t.Fatal("setup failed")
+	}
+	// Writes under RO: all diverted (counted in cache stats as writes).
+	for i := int64(0); i < 70; i++ {
+		st.Cache().Access(block.Write, block.Extent{LBA: (1 << 26) + i*1024, Sectors: 8}, 0)
+	}
+	// Queue shows only reads; reconstruction adds the 70 diverted writes.
+	feedSampleWithDemand(st, census(30, 0, 0, 0), true, 0)
+	if st.Cache().Policy() != cache.RO {
+		t.Fatalf("policy = %v, want RO preserved", st.Cache().Policy())
+	}
+}
+
+func TestNewClampsConfig(t *testing.T) {
+	l := New(Config{BurstOn: 0, BurstOff: -1})
+	if l.cfg.BurstOn != 1 || l.cfg.BurstOff != 1 {
+		t.Errorf("clamped config = %+v", l.cfg)
+	}
+}
+
+func TestGroupStringsTotal(t *testing.T) {
+	for g := GroupUnknown; g <= Group4SeqRead; g++ {
+		if g.String() == "" {
+			t.Errorf("group %d has empty name", g)
+		}
+	}
+	if Group(99).String() == "" {
+		t.Error("out-of-range group must still render")
+	}
+}
+
+func TestKeepThresholdRespondsToDiskQueue(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	feedSampleWithDemand(st, census(5, 700, 3, 92), true, 0) // arm G3
+	for st.HDDQueue().Depth() > 0 {
+		st.HDDQueue().Pop()
+	}
+	emptyKeep := l.keepThreshold()
+	// Load the disk queue: the threshold must rise (bypassing is less
+	// attractive when the disk is busy).
+	for i := 0; i < 50; i++ {
+		st.HDDQueue().Push(&block.Request{Origin: block.ReadMiss,
+			Extent: block.Extent{LBA: int64(1+i) * 4096, Sectors: 8}}, 0)
+	}
+	if loaded := l.keepThreshold(); loaded <= emptyKeep {
+		t.Errorf("keep threshold %d with a loaded disk not above %d with an idle one", loaded, emptyKeep)
+	}
+}
+
+// LBICA's admission path must never bypass while disarmed, whatever the
+// queue looks like.
+func TestAdmitDisarmed(t *testing.T) {
+	l := New(DefaultConfig())
+	st := stackForBalancer(l)
+	for i := int64(0); i < 1000; i++ {
+		st.SSDQueue().Push(&block.Request{Origin: block.AppWrite,
+			Extent: block.Extent{LBA: i * 1024, Sectors: 8}}, 0)
+	}
+	if !l.Admit(block.Write, block.Extent{LBA: 0, Sectors: 8}) {
+		t.Error("disarmed balancer must admit everything")
+	}
+}

@@ -1,0 +1,706 @@
+// Package engine composes the simulated storage stack of the paper's
+// Fig. 1/2: application workload → cache module → SSD queue + disk-
+// subsystem queue, with the full request lifecycle (hit service, miss +
+// promote, dirty eviction + writeback, write-through fan-out, background
+// dirty flushing) and the hook points a load balancer needs (per-interval
+// monitor callbacks, per-request admission, queue-tail redirection).
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/cache"
+	"lbica/internal/device"
+	"lbica/internal/ioqueue"
+	"lbica/internal/iostat"
+	"lbica/internal/sim"
+	"lbica/internal/stats"
+	"lbica/internal/trace"
+	"lbica/internal/workload"
+)
+
+// Balancer is a load-balancing scheme plugged into the stack. The WB
+// baseline is a nil Balancer.
+type Balancer interface {
+	// Name identifies the scheme in results.
+	Name() string
+	// Attach is called once before the run; the balancer typically sets
+	// the initial cache policy and registers an OnSample hook.
+	Attach(st *Stack)
+	// Admit decides whether an application request goes through the cache
+	// (true) or is bypassed straight to the disk tier (false). Bypassing
+	// a read is only sound when no covered block is dirty; implementations
+	// must check via Stack.Cache().DirtyIn.
+	Admit(op block.Op, e block.Extent) bool
+}
+
+// Config assembles a stack.
+type Config struct {
+	Seed int64
+
+	Cache cache.Config
+	SSD   device.SSDConfig
+	HDD   device.HDDConfig
+
+	// MonitorEvery is the iostat sampling interval (one x-axis unit of the
+	// figures).
+	MonitorEvery time.Duration
+
+	// Background dirty flusher: every FlushEvery, if the dirty ratio is
+	// above the cache's high watermark, flush up to FlushBatch blocks;
+	// keep going each tick until below the low watermark. Zero disables.
+	FlushEvery time.Duration
+	FlushBatch int
+
+	// PrewarmBlocks preloads this many of the workload's hottest blocks
+	// (clean) before the run, honoring the paper's warm-cache assumption.
+	PrewarmBlocks int
+
+	// DetectOnPeak makes the monitor compare Eq. 1 on within-interval
+	// peak depths instead of time averages (ablation knob).
+	DetectOnPeak bool
+
+	// HDDDiscipline selects the disk-queue dispatch order (default FIFO;
+	// LookDispatch pairs with HDD.DistanceSeek). The SSD queue is always
+	// FIFO: queue positions there feed Eq. 1 and the tail-bypass rules.
+	HDDDiscipline ioqueue.Discipline
+
+	// Trace, when non-nil, receives every block-layer event.
+	Trace trace.Recorder
+}
+
+// DefaultConfig returns the calibrated experiment configuration used by the
+// figure harness: 256 MiB 8-way cache, one-channel SATA-class SSD, a
+// 24-spindle 15K-RPM disk subsystem with a controller write-back cache,
+// 200 ms monitor intervals.
+func DefaultConfig() Config {
+	ssd := device.DefaultSSDConfig()
+	ssd.Channels = 1
+	hdd := device.HDDConfig{
+		Name:              "disk-subsystem",
+		RPM:               15000,
+		SeekAvg:           2500 * time.Microsecond,
+		PerSector:         1200 * time.Nanosecond,
+		Spindles:          24,
+		SeqThreshold:      64,
+		WriteCacheLatency: 150 * time.Microsecond,
+		WriteCacheDepth:   16384,
+		DrainIOPS:         8000,
+	}
+	cc := cache.DefaultConfig()
+	cc.DirtyHighWatermark = 0.20
+	cc.DirtyLowWatermark = 0.15
+	return Config{
+		Seed:          1,
+		Cache:         cc,
+		SSD:           ssd,
+		HDD:           hdd,
+		MonitorEvery:  200 * time.Millisecond,
+		FlushEvery:    10 * time.Millisecond,
+		FlushBatch:    16,
+		PrewarmBlocks: cc.Sets * cc.Ways,
+	}
+}
+
+// PolicyChange is one balancer decision, for the Fig. 6 timeline.
+type PolicyChange struct {
+	Interval int
+	At       time.Duration
+	Policy   cache.Policy
+	// Group is the balancer's workload classification label ("G1" … "G4",
+	// "revert", or scheme-specific).
+	Group string
+}
+
+// Results summarizes a finished run.
+type Results struct {
+	Workload string
+	Scheme   string
+
+	Samples  []iostat.Sample
+	Timeline []PolicyChange
+
+	// End-to-end application latency across the whole run.
+	AppLatency *stats.Histogram
+
+	AppSubmitted uint64
+	AppCompleted uint64
+
+	CacheStats cache.Stats
+
+	SSDPeakDepth, HDDPeakDepth int
+	SSDUtilization             float64
+	HDDUtilization             float64
+	SSDMerges, HDDMerges       uint64
+	BypassedToDisk             uint64
+	CancelledShadows           uint64
+	Elapsed                    time.Duration
+
+	// Endurance accounting: sectors written to each tier. SSD lifetime is
+	// proportional to SSDWrittenSectors; the paper's related work
+	// motivates write-reduction, and LBICA's WO/RO assignments cut SSD
+	// writes as a side effect (measured by BenchmarkEnduranceExtension).
+	SSDWrittenSectors int64
+	HDDWrittenSectors int64
+}
+
+// SSDWrittenMiB returns the SSD write volume in MiB.
+func (r *Results) SSDWrittenMiB() float64 {
+	return float64(r.SSDWrittenSectors) * block.SectorSize / (1 << 20)
+}
+
+// HDDWrittenMiB returns the disk-tier write volume in MiB.
+func (r *Results) HDDWrittenMiB() float64 {
+	return float64(r.HDDWrittenSectors) * block.SectorSize / (1 << 20)
+}
+
+// CacheLoadMean returns the mean of the per-interval cache-load series,
+// the Fig. 4 headline aggregate.
+func (r *Results) CacheLoadMean() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += float64(s.CacheLoad)
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// DiskLoadMean returns the mean of the per-interval disk-load series.
+func (r *Results) DiskLoadMean() float64 {
+	if len(r.Samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, s := range r.Samples {
+		sum += float64(s.DiskLoad)
+	}
+	return sum / float64(len(r.Samples))
+}
+
+// Stack is the live storage stack.
+type Stack struct {
+	cfg Config
+	eng *sim.Engine
+
+	cch  *cache.Cache
+	ssdQ *ioqueue.Queue
+	hddQ *ioqueue.Queue
+	ssd  *device.Server
+	hdd  *device.Server
+	hddM *device.HDD
+	mon  *iostat.Monitor
+
+	bal Balancer
+	gen workload.Generator
+	rec trace.Recorder
+
+	ids          uint64
+	appSubmitted uint64
+	appCompleted uint64
+	bypassed     uint64
+	cancelled    uint64
+	ssdWrSectors int64
+	hddWrSectors int64
+	appLat       *stats.Histogram
+	timeline     []PolicyChange
+
+	ssdLatency time.Duration
+	hddLatency time.Duration
+
+	flushing  bool
+	ticks     int
+	maxTicks  int
+	periodics []periodicTask
+}
+
+type periodicTask struct {
+	every time.Duration
+	fn    func()
+}
+
+// New assembles a stack for one workload × scheme run. bal may be nil (the
+// WB baseline).
+func New(cfg Config, gen workload.Generator, bal Balancer) *Stack {
+	if cfg.MonitorEvery <= 0 {
+		cfg.MonitorEvery = 200 * time.Millisecond
+	}
+	eng := sim.NewEngine()
+	rec := cfg.Trace
+	if rec == nil {
+		rec = trace.Discard
+	}
+
+	ssdModel := device.NewSSD(cfg.SSD, sim.NewRNG(cfg.Seed, "ssd"))
+	hddModel := device.NewHDD(cfg.HDD, sim.NewRNG(cfg.Seed, "hdd"))
+	hddModel.SetClock(eng.Now)
+
+	st := &Stack{
+		cfg:    cfg,
+		eng:    eng,
+		cch:    cache.New(cfg.Cache),
+		ssdQ:   ioqueue.New("ssd"),
+		hddQ:   ioqueue.New("hdd", ioqueue.WithDiscipline(cfg.HDDDiscipline)),
+		hddM:   hddModel,
+		bal:    bal,
+		gen:    gen,
+		rec:    rec,
+		appLat: stats.NewHistogram(),
+	}
+
+	// Eq. 1 calibration constants: the devices' average read/write service
+	// latency, as the paper specifies.
+	st.ssdLatency = (ssdModel.AvgLatency(block.Read) + ssdModel.AvgLatency(block.Write)) / 2
+	st.hddLatency = (hddModel.AvgLatency(block.Read) + hddModel.AvgLatency(block.Write)) / 2
+
+	st.mon = iostat.New(iostat.Config{
+		Every:         cfg.MonitorEvery,
+		SSDLatency:    st.ssdLatency,
+		HDDLatency:    st.hddLatency,
+		CompareOnPeak: cfg.DetectOnPeak,
+	}, st.ssdQ, st.hddQ)
+
+	st.ssd = device.NewServer(eng, ssdModel, st.ssdQ, func(r *block.Request) {
+		st.mon.NoteCompletion(iostat.SSD, r)
+		st.rec.Record(trace.Event{At: eng.Now(), Kind: trace.Completed, Dev: trace.SSD,
+			ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	})
+	st.hdd = device.NewServer(eng, hddModel, st.hddQ, func(r *block.Request) {
+		st.mon.NoteCompletion(iostat.HDD, r)
+		st.rec.Record(trace.Event{At: eng.Now(), Kind: trace.Completed, Dev: trace.HDD,
+			ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	})
+	st.ssd.OnDispatch(func(r *block.Request) {
+		st.mon.NoteDepth(iostat.SSD, eng.Now())
+		st.rec.Record(trace.Event{At: eng.Now(), Kind: trace.Dispatched, Dev: trace.SSD,
+			ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	})
+	st.hdd.OnDispatch(func(r *block.Request) {
+		st.mon.NoteDepth(iostat.HDD, eng.Now())
+		st.rec.Record(trace.Event{At: eng.Now(), Kind: trace.Dispatched, Dev: trace.HDD,
+			ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	})
+
+	if hot, ok := gen.(interface{ HotBlocks(int) []int64 }); ok && cfg.PrewarmBlocks > 0 {
+		st.cch.Prewarm(hot.HotBlocks(cfg.PrewarmBlocks))
+	}
+	if bal != nil {
+		bal.Attach(st)
+	}
+	return st
+}
+
+// Accessors for balancers and tests.
+
+// Engine returns the simulation executive.
+func (st *Stack) Engine() *sim.Engine { return st.eng }
+
+// Now returns the current virtual time.
+func (st *Stack) Now() time.Duration { return st.eng.Now() }
+
+// Cache returns the cache module.
+func (st *Stack) Cache() *cache.Cache { return st.cch }
+
+// SSDQueue returns the SSD request queue.
+func (st *Stack) SSDQueue() *ioqueue.Queue { return st.ssdQ }
+
+// HDDQueue returns the disk-subsystem request queue.
+func (st *Stack) HDDQueue() *ioqueue.Queue { return st.hddQ }
+
+// Monitor returns the iostat monitor.
+func (st *Stack) Monitor() *iostat.Monitor { return st.mon }
+
+// SSDLatency returns the Eq. 1 SSD service-latency constant.
+func (st *Stack) SSDLatency() time.Duration { return st.ssdLatency }
+
+// HDDLatency returns the Eq. 1 disk service-latency constant.
+func (st *Stack) HDDLatency() time.Duration { return st.hddLatency }
+
+// StallSSD charges queue-scan overhead against the SSD's service capacity
+// (SIB's per-request selection cost).
+func (st *Stack) StallSSD(d time.Duration) { st.ssd.Stall(d) }
+
+// Bypassed returns the cumulative count of requests routed to the disk
+// tier by balancer action (admission bypasses plus redirected queue
+// tails).
+func (st *Stack) Bypassed() uint64 { return st.bypassed }
+
+// Periodic registers fn to run every d of virtual time for the duration of
+// the run; the chain ends when the final monitor interval closes. Balancers
+// call this from Attach for sub-interval work (e.g. SIB's queue scans).
+func (st *Stack) Periodic(d time.Duration, fn func()) {
+	if d > 0 {
+		st.periodics = append(st.periodics, periodicTask{every: d, fn: fn})
+	}
+}
+
+// NotePolicy records a balancer decision in the Fig. 6 timeline and trace.
+// A decision made while interval i's sample is being closed is annotated
+// at interval i, matching the paper's "at interval 23, LBICA sets RO"
+// convention.
+func (st *Stack) NotePolicy(p cache.Policy, group string) {
+	iv := len(st.mon.Samples()) - 1
+	if iv < 0 {
+		iv = 0
+	}
+	st.timeline = append(st.timeline, PolicyChange{
+		Interval: iv,
+		At:       st.eng.Now(),
+		Policy:   p,
+		Group:    group,
+	})
+	st.rec.Record(trace.Event{At: st.eng.Now(), Kind: trace.PolicySet, Aux: int64(p)})
+}
+
+func (st *Stack) nextID() uint64 {
+	st.ids++
+	return st.ids
+}
+
+// pushSSD enqueues a device request on the SSD tier and kicks the server.
+func (st *Stack) pushSSD(r *block.Request) {
+	if r.Op() == block.Write {
+		st.ssdWrSectors += r.Extent.Sectors
+	}
+	merged := st.ssdQ.Push(r, st.eng.Now())
+	kind := trace.Queued
+	if merged {
+		kind = trace.Merged
+	}
+	st.rec.Record(trace.Event{At: st.eng.Now(), Kind: kind, Dev: trace.SSD,
+		ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	if !merged {
+		st.mon.NoteDepth(iostat.SSD, st.eng.Now())
+	}
+	st.ssd.Kick()
+}
+
+// pushHDD enqueues a device request on the disk tier and kicks the server.
+func (st *Stack) pushHDD(r *block.Request) {
+	if r.Op() == block.Write {
+		st.hddWrSectors += r.Extent.Sectors
+	}
+	merged := st.hddQ.Push(r, st.eng.Now())
+	kind := trace.Queued
+	if merged {
+		kind = trace.Merged
+	}
+	st.rec.Record(trace.Event{At: st.eng.Now(), Kind: kind, Dev: trace.HDD,
+		ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	if !merged {
+		st.mon.NoteDepth(iostat.HDD, st.eng.Now())
+	}
+	st.hdd.Kick()
+}
+
+// issueVictims turns cache eviction victims into device traffic: a dirty
+// victim costs an SSD read (E) whose completion issues the HDD writeback.
+func (st *Stack) issueVictims(victims []cache.Victim) {
+	for _, v := range victims {
+		if !v.Dirty {
+			continue
+		}
+		ext := st.cch.BlockExtent(v.Block)
+		ev := &block.Request{ID: st.nextID(), Origin: block.Evict, Extent: ext}
+		// Capture ext, not the request's extent: queue merging may widen
+		// the head request, and the absorbed requests writeback their own
+		// ranges themselves.
+		ev.OnComplete = func(r *block.Request) {
+			wb := &block.Request{ID: st.nextID(), Origin: block.Writeback, Extent: ext, ParentID: r.ID}
+			st.pushHDD(wb)
+		}
+		st.pushSSD(ev)
+	}
+}
+
+// submit runs one application request through admission, the cache
+// decision, and leg issue.
+func (st *Stack) submit(wr workload.Request) {
+	st.appSubmitted++
+	arrival := st.eng.Now()
+
+	done := func() {
+		st.appCompleted++
+		lat := st.eng.Now() - arrival
+		st.appLat.Record(lat)
+		st.mon.NoteAppDone(lat)
+	}
+
+	if st.bal != nil && !st.bal.Admit(wr.Op, wr.Extent) {
+		st.bypassAppRequest(wr, done)
+		return
+	}
+
+	d := st.cch.Access(wr.Op, wr.Extent, arrival)
+	st.issueVictims(d.Victims)
+
+	switch {
+	case d.CacheRead:
+		r := &block.Request{ID: st.nextID(), Origin: block.AppRead, Extent: wr.Extent}
+		r.OnComplete = func(*block.Request) { done() }
+		st.pushSSD(r)
+
+	case d.DiskRead:
+		r := &block.Request{ID: st.nextID(), Origin: block.ReadMiss, Extent: wr.Extent}
+		promote := d.Promote
+		ext := wr.Extent // merging may widen r.Extent; promote only our range
+		r.OnComplete = func(rr *block.Request) {
+			done()
+			if promote {
+				p := &block.Request{ID: st.nextID(), Origin: block.Promote, Extent: ext, ParentID: rr.ID}
+				st.pushSSD(p)
+			}
+		}
+		st.pushHDD(r)
+
+	case d.CacheWrite && d.DiskWrite:
+		// Write-through fan-out: the request completes when both legs do.
+		legs := 2
+		leg := func(*block.Request) {
+			legs--
+			if legs == 0 {
+				done()
+			}
+		}
+		cw := &block.Request{ID: st.nextID(), Origin: block.AppWrite, Extent: wr.Extent, Shadowed: true}
+		cw.OnComplete = leg
+		dw := &block.Request{ID: st.nextID(), Origin: block.BypassWrite, Extent: wr.Extent, ParentID: cw.ID}
+		dw.OnComplete = leg
+		st.pushSSD(cw)
+		st.pushHDD(dw)
+
+	case d.CacheWrite:
+		r := &block.Request{ID: st.nextID(), Origin: block.AppWrite, Extent: wr.Extent}
+		r.OnComplete = func(*block.Request) { done() }
+		st.pushSSD(r)
+
+	case d.DiskWrite:
+		r := &block.Request{ID: st.nextID(), Origin: block.BypassWrite, Extent: wr.Extent}
+		r.OnComplete = func(*block.Request) { done() }
+		st.pushHDD(r)
+
+	default:
+		// A decision with no transfer cannot happen; complete immediately
+		// so accounting never wedges if a future policy introduces one.
+		done()
+	}
+}
+
+// bypassAppRequest routes a request around the cache entirely (balancer
+// admission said no).
+func (st *Stack) bypassAppRequest(wr workload.Request, done func()) {
+	st.bypassed++
+	st.cch.NoteBypass(wr.Op)
+	origin := block.BypassRead
+	if wr.Op == block.Write {
+		origin = block.BypassWrite
+		// The disk copy becomes the newest data; drop any cached copy.
+		st.cch.Invalidate(wr.Extent)
+	}
+	r := &block.Request{ID: st.nextID(), Origin: origin, Extent: wr.Extent}
+	r.OnComplete = func(*block.Request) { done() }
+	st.rec.Record(trace.Event{At: st.eng.Now(), Kind: trace.Bypassed, Dev: trace.HDD,
+		ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+	st.pushHDD(r)
+}
+
+// RedirectTail extracts every bypassable request at SSD-queue position ≥
+// keep and re-routes it to the disk tier:
+//
+//   - application writes with a through-write shadow leg are cancelled
+//     outright (the disk leg persists the data);
+//   - other application writes are invalidated in the cache and re-queued
+//     on the disk;
+//   - promotes are dropped (the miss was already served; the fill is
+//     cancelled and the allocated line invalidated);
+//   - application reads move only if no covered block is dirty;
+//   - evict reads never move (dirty data exists only on the SSD).
+//
+// It returns the number of requests removed from the SSD queue.
+func (st *Stack) RedirectTail(keep int) int {
+	if keep < 0 {
+		keep = 0
+	}
+	moved := st.ssdQ.Extract(func(pos int, r *block.Request) bool {
+		if pos < keep {
+			return false
+		}
+		switch r.Origin {
+		case block.AppWrite, block.Promote:
+			return true
+		case block.AppRead:
+			return !st.cch.DirtyIn(r.Extent)
+		default:
+			return false
+		}
+	})
+	if len(moved) == 0 {
+		return 0
+	}
+	st.mon.NoteDepth(iostat.SSD, st.eng.Now())
+	now := st.eng.Now()
+	for _, r := range moved {
+		st.rec.Record(trace.Event{At: now, Kind: trace.Bypassed, Dev: trace.SSD,
+			ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
+		switch r.Origin {
+		case block.AppWrite:
+			st.cch.NoteBypass(block.Write)
+			if r.Shadowed {
+				// The disk leg already carries the data; complete this leg
+				// as a no-op.
+				st.cancelled++
+				r.Dispatch, r.Complete = now, now
+				if r.OnComplete != nil {
+					r.OnComplete(r)
+				}
+				continue
+			}
+			st.cch.Invalidate(r.Extent)
+			st.bypassed++
+			r.Origin = block.BypassWrite
+			st.pushHDD(r)
+		case block.Promote:
+			// Cancel the fill; nothing to transfer anywhere.
+			st.cch.Invalidate(r.Extent)
+			st.cancelled++
+		case block.AppRead:
+			st.cch.NoteBypass(block.Read)
+			st.bypassed++
+			r.Origin = block.BypassRead
+			st.pushHDD(r)
+		}
+	}
+	st.ssd.Kick()
+	return len(moved)
+}
+
+// flushTick runs the background dirty flusher state machine.
+func (st *Stack) flushTick() {
+	if st.flushing {
+		if st.cch.FlushSatisfied() {
+			st.flushing = false
+		}
+	} else if st.cch.NeedsFlush() {
+		st.flushing = true
+	}
+	if !st.flushing {
+		return
+	}
+	for _, db := range st.cch.CollectDirty(st.cfg.FlushBatch) {
+		ext := st.cch.BlockExtent(db.Block)
+		blockNum, epoch := db.Block, db.Epoch
+		ev := &block.Request{ID: st.nextID(), Origin: block.Evict, Extent: ext}
+		ev.OnComplete = func(r *block.Request) {
+			wb := &block.Request{ID: st.nextID(), Origin: block.Writeback, Extent: ext, ParentID: r.ID}
+			wb.OnComplete = func(*block.Request) { st.cch.MarkClean(blockNum, epoch) }
+			st.pushHDD(wb)
+		}
+		st.pushSSD(ev)
+	}
+}
+
+// Run executes the workload for intervals monitor intervals (at least 1),
+// drains in-flight requests, and returns the results. Requests the
+// generator emits beyond the last interval still execute but land in no
+// sample.
+func (st *Stack) Run(intervals int) *Results {
+	if intervals < 1 {
+		intervals = 1
+	}
+	st.maxTicks = intervals
+
+	// Arrival pump: schedule one arrival ahead.
+	var pump func()
+	pump = func() {
+		wr, ok := st.gen.Next()
+		if !ok {
+			return
+		}
+		at := wr.At
+		if at < st.eng.Now() {
+			at = st.eng.Now()
+		}
+		st.eng.At(at, func() {
+			st.submit(wr)
+			pump()
+		})
+	}
+	pump()
+
+	// Monitor tick chain.
+	var tick func()
+	tick = func() {
+		st.mon.Tick(st.eng.Now())
+		st.ticks++
+		if st.maxTicks > 0 && st.ticks >= st.maxTicks {
+			return
+		}
+		st.eng.After(st.cfg.MonitorEvery, tick)
+	}
+	st.eng.After(st.cfg.MonitorEvery, tick)
+
+	// Flusher chain.
+	if st.cfg.FlushEvery > 0 && st.cfg.FlushBatch > 0 {
+		var fl func()
+		fl = func() {
+			st.flushTick()
+			if st.maxTicks > 0 && st.ticks >= st.maxTicks {
+				return
+			}
+			st.eng.After(st.cfg.FlushEvery, fl)
+		}
+		st.eng.After(st.cfg.FlushEvery, fl)
+	}
+
+	// Balancer periodic chains.
+	for _, p := range st.periodics {
+		p := p
+		var run func()
+		run = func() {
+			p.fn()
+			if st.maxTicks > 0 && st.ticks >= st.maxTicks {
+				return
+			}
+			st.eng.After(p.every, run)
+		}
+		st.eng.After(p.every, run)
+	}
+
+	st.eng.RunUntilIdle()
+
+	return &Results{
+		Workload:          st.gen.Name(),
+		Scheme:            st.schemeName(),
+		Samples:           st.mon.Samples(),
+		Timeline:          st.timeline,
+		AppLatency:        st.appLat,
+		AppSubmitted:      st.appSubmitted,
+		AppCompleted:      st.appCompleted,
+		CacheStats:        st.cch.Stats(),
+		SSDPeakDepth:      st.ssdQ.DepthPeak(),
+		HDDPeakDepth:      st.hddQ.DepthPeak(),
+		SSDUtilization:    st.ssd.Utilization(st.eng.Now()),
+		HDDUtilization:    st.hdd.Utilization(st.eng.Now()),
+		SSDMerges:         st.ssdQ.Merges(),
+		HDDMerges:         st.hddQ.Merges(),
+		BypassedToDisk:    st.bypassed,
+		CancelledShadows:  st.cancelled,
+		Elapsed:           st.eng.Now(),
+		SSDWrittenSectors: st.ssdWrSectors,
+		HDDWrittenSectors: st.hddWrSectors,
+	}
+}
+
+func (st *Stack) schemeName() string {
+	if st.bal == nil {
+		return "WB"
+	}
+	return st.bal.Name()
+}
+
+func (st *Stack) String() string {
+	return fmt.Sprintf("stack(%s/%s ssdQ=%d hddQ=%d)", st.gen.Name(), st.schemeName(), st.ssdQ.Depth(), st.hddQ.Depth())
+}

@@ -1,0 +1,379 @@
+package engine
+
+import (
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/cache"
+	"lbica/internal/device"
+	"lbica/internal/sim"
+	"lbica/internal/trace"
+	"lbica/internal/workload"
+)
+
+// testConfig shrinks the default stack for fast unit runs.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Cache.Sets = 512
+	cfg.Cache.Ways = 4
+	cfg.PrewarmBlocks = 1024
+	cfg.MonitorEvery = 50 * time.Millisecond
+	return cfg
+}
+
+func TestConservationAllRequestsComplete(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.MixedRW(500*time.Millisecond, 4000, 4096, sim.NewRNG(1, "wl"))
+	st := New(cfg, gen, nil)
+	res := st.Run(10)
+
+	if res.AppSubmitted == 0 {
+		t.Fatal("no requests submitted")
+	}
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatalf("completed %d of %d submitted", res.AppCompleted, res.AppSubmitted)
+	}
+	if uint64(res.AppLatency.Count()) != res.AppCompleted {
+		t.Fatalf("latency histogram count %d != completed %d", res.AppLatency.Count(), res.AppCompleted)
+	}
+	if st.SSDQueue().Depth() != 0 || st.HDDQueue().Depth() != 0 {
+		t.Fatal("queues not drained at idle")
+	}
+	if err := st.Cache().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplesCoverRun(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(500*time.Millisecond, 2000, 2048, sim.NewRNG(2, "wl"))
+	res := New(cfg, gen, nil).Run(10)
+	if len(res.Samples) != 10 {
+		t.Fatalf("samples = %d, want 10", len(res.Samples))
+	}
+	for i, s := range res.Samples {
+		if s.Interval != i {
+			t.Fatalf("sample %d has interval %d", i, s.Interval)
+		}
+	}
+}
+
+func TestLatencyNeverBelowServiceFloor(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(200*time.Millisecond, 1000, 512, sim.NewRNG(3, "wl"))
+	res := New(cfg, gen, nil).Run(4)
+	// No application request can finish faster than the fastest SSD
+	// service time; use a conservative floor well under the 90µs base.
+	if res.AppLatency.Min() < 20*time.Microsecond {
+		t.Errorf("min latency %v below any plausible service floor", res.AppLatency.Min())
+	}
+}
+
+func TestPrewarmedReadsMostlyHit(t *testing.T) {
+	cfg := testConfig()
+	// Working set equals the prewarm budget: everything should hit.
+	gen := workload.RandomRead(200*time.Millisecond, 2000, 1024, sim.NewRNG(4, "wl"))
+	res := New(cfg, gen, nil).Run(4)
+	if hr := res.CacheStats.HitRatio(); hr < 0.98 {
+		t.Errorf("hit ratio = %.3f, want ≈1 for a fully prewarmed set", hr)
+	}
+	if res.CacheStats.Promotes > res.CacheStats.ReadMisses {
+		t.Errorf("promotes %d exceed misses %d", res.CacheStats.Promotes, res.CacheStats.ReadMisses)
+	}
+}
+
+func TestMissesGenerateDiskAndPromoteTraffic(t *testing.T) {
+	cfg := testConfig()
+	cfg.PrewarmBlocks = 0
+	var buf trace.Buffer
+	cfg.Trace = &buf
+	gen := workload.RandomRead(100*time.Millisecond, 500, 65536, sim.NewRNG(5, "wl"))
+	res := New(cfg, gen, nil).Run(2)
+	if res.CacheStats.ReadMisses == 0 {
+		t.Fatal("cold large-working-set run produced no misses")
+	}
+	var sawMiss, sawPromote bool
+	for _, e := range buf.Events {
+		if e.Kind == trace.Queued && e.Dev == trace.HDD && e.Origin == block.ReadMiss {
+			sawMiss = true
+		}
+		if e.Kind == trace.Queued && e.Dev == trace.SSD && e.Origin == block.Promote {
+			sawPromote = true
+		}
+	}
+	if !sawMiss || !sawPromote {
+		t.Errorf("trace lacks miss/promote evidence: miss=%v promote=%v", sawMiss, sawPromote)
+	}
+}
+
+func TestWriteBackBuffersAndFlusherDrains(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cache.DirtyHighWatermark = 0.05
+	cfg.Cache.DirtyLowWatermark = 0.02
+	gen := workload.RandomWrite(300*time.Millisecond, 3000, 1024, sim.NewRNG(6, "wl"))
+	st := New(cfg, gen, nil)
+	res := st.Run(6)
+	if res.CacheStats.Flushed == 0 {
+		t.Error("flusher never cleaned a block despite low watermarks")
+	}
+	if res.CacheStats.FlushesStarted < res.CacheStats.Flushed {
+		t.Error("flush accounting inconsistent")
+	}
+}
+
+func TestWTFanOutCompletesBothLegs(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cache.InitialPolicy = cache.WT
+	var buf trace.Buffer
+	cfg.Trace = &buf
+	gen := workload.RandomWrite(100*time.Millisecond, 1000, 512, sim.NewRNG(7, "wl"))
+	res := New(cfg, gen, nil).Run(2)
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatalf("WT fan-out wedged: %d of %d", res.AppCompleted, res.AppSubmitted)
+	}
+	// Every write must appear on both tiers.
+	ssdW, hddW := 0, 0
+	for _, e := range buf.Events {
+		if e.Kind != trace.Queued && e.Kind != trace.Merged {
+			continue
+		}
+		if e.Dev == trace.SSD && e.Origin == block.AppWrite {
+			ssdW++
+		}
+		if e.Dev == trace.HDD && e.Origin == block.BypassWrite {
+			hddW++
+		}
+	}
+	if ssdW == 0 || hddW == 0 || ssdW != hddW {
+		t.Errorf("WT legs: ssd=%d hdd=%d, want equal and nonzero", ssdW, hddW)
+	}
+}
+
+func TestROWritesGoToDisk(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cache.InitialPolicy = cache.RO
+	gen := workload.RandomWrite(100*time.Millisecond, 1000, 512, sim.NewRNG(8, "wl"))
+	res := New(cfg, gen, nil).Run(2)
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatal("RO run wedged")
+	}
+	if res.CacheStats.DirtyEvicts != 0 || res.CacheStats.Flushed != 0 {
+		t.Error("RO cache must never hold dirty data")
+	}
+}
+
+func TestDirtyEvictionsProduceWritebacks(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cache.Sets = 16
+	cfg.Cache.Ways = 2
+	cfg.Cache.DirtyHighWatermark = 0.99 // flusher out of the picture
+	cfg.Cache.DirtyLowWatermark = 0.98
+	cfg.PrewarmBlocks = 0
+	var buf trace.Buffer
+	cfg.Trace = &buf
+	gen := workload.RandomWrite(100*time.Millisecond, 2000, 4096, sim.NewRNG(9, "wl"))
+	res := New(cfg, gen, nil).Run(2)
+	if res.CacheStats.DirtyEvicts == 0 {
+		t.Fatal("tiny cache under random writes must evict dirty victims")
+	}
+	evictReads, writebacks := 0, 0
+	for _, e := range buf.Events {
+		if e.Kind != trace.Queued && e.Kind != trace.Merged {
+			continue
+		}
+		if e.Dev == trace.SSD && e.Origin == block.Evict {
+			evictReads++
+		}
+		if e.Dev == trace.HDD && e.Origin == block.Writeback {
+			writebacks++
+		}
+	}
+	if evictReads == 0 || writebacks == 0 {
+		t.Errorf("eviction traffic missing: E=%d WB=%d", evictReads, writebacks)
+	}
+}
+
+// admitNone is a balancer that bypasses every request.
+type admitNone struct{ st *Stack }
+
+func (a *admitNone) Name() string     { return "bypass-all" }
+func (a *admitNone) Attach(st *Stack) { a.st = st }
+func (a *admitNone) Admit(op block.Op, e block.Extent) bool {
+	return op == block.Read && a.st.Cache().DirtyIn(e)
+}
+
+func TestBalancerAdmissionBypass(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.MixedRW(100*time.Millisecond, 1000, 512, sim.NewRNG(10, "wl"))
+	res := New(cfg, gen, &admitNone{}).Run(2)
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatal("bypass-all run wedged")
+	}
+	if res.BypassedToDisk == 0 {
+		t.Fatal("nothing bypassed")
+	}
+	if res.Scheme != "bypass-all" {
+		t.Errorf("scheme = %q", res.Scheme)
+	}
+	// SSD saw (almost) no traffic.
+	if res.SSDPeakDepth > 2 {
+		t.Errorf("ssd peak depth = %d under full bypass", res.SSDPeakDepth)
+	}
+}
+
+func TestRedirectTailMovesSafeRequestsOnly(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(time.Millisecond, 10, 16, sim.NewRNG(11, "wl"))
+	st := New(cfg, gen, nil)
+
+	// Hand-plant a queue: a dirty-read hit, a clean-read hit, a plain
+	// write, and an evict read. Addresses are far apart so queue merging
+	// stays out of the picture.
+	st.Cache().Access(block.Write, block.Extent{LBA: 0, Sectors: 8}, 0) // block 0 dirty
+	st.Cache().Prewarm([]int64{128})                                    // block 128 clean
+
+	mkreq := func(o block.Origin, lba int64) *block.Request {
+		return &block.Request{ID: 1000 + uint64(lba), Origin: o, Extent: block.Extent{LBA: lba, Sectors: 8}}
+	}
+	// Occupy the single SSD slot so nothing dispatches during the test.
+	st.StallSSD(time.Hour)
+	st.SSDQueue().Push(mkreq(block.AppRead, 0), 0)     // dirty → must stay
+	st.SSDQueue().Push(mkreq(block.AppRead, 1024), 0)  // clean → moves
+	st.SSDQueue().Push(mkreq(block.AppWrite, 2048), 0) // moves (invalidate+redirect)
+	st.SSDQueue().Push(mkreq(block.Evict, 4096), 0)    // must stay
+
+	moved := st.RedirectTail(0)
+	if moved != 2 {
+		t.Fatalf("moved %d, want 2", moved)
+	}
+	if st.SSDQueue().Depth() != 2 {
+		t.Fatalf("ssd depth = %d, want 2 (dirty read + evict)", st.SSDQueue().Depth())
+	}
+	if st.HDDQueue().Pushed() != 2 {
+		t.Fatalf("disk queue saw %d pushes, want the 2 redirected requests", st.HDDQueue().Pushed())
+	}
+	c := st.SSDQueue().Census()
+	if c[block.AppRead] != 1 || c[block.Evict] != 1 {
+		t.Errorf("remaining census = %v", c)
+	}
+}
+
+func TestRedirectTailCancelsShadowedWrites(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(time.Millisecond, 10, 16, sim.NewRNG(12, "wl"))
+	st := New(cfg, gen, nil)
+	st.StallSSD(time.Hour)
+
+	completed := false
+	r := &block.Request{ID: 1, Origin: block.AppWrite, Extent: block.Extent{LBA: 0, Sectors: 8}, Shadowed: true}
+	r.OnComplete = func(*block.Request) { completed = true }
+	st.SSDQueue().Push(r, 0)
+	if st.RedirectTail(0) != 1 {
+		t.Fatal("shadowed write not extracted")
+	}
+	if !completed {
+		t.Fatal("cancelled shadow leg must complete as a no-op")
+	}
+	if st.HDDQueue().Depth() != 0 {
+		t.Fatal("cancelled shadow must not be re-queued on disk")
+	}
+}
+
+func TestRedirectTailKeepsHead(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(time.Millisecond, 10, 16, sim.NewRNG(13, "wl"))
+	st := New(cfg, gen, nil)
+	st.StallSSD(time.Hour)
+	for i := int64(0); i < 6; i++ {
+		st.SSDQueue().Push(&block.Request{ID: uint64(i), Origin: block.AppWrite,
+			Extent: block.Extent{LBA: i * 1024, Sectors: 8}}, 0)
+	}
+	st.RedirectTail(4)
+	if st.SSDQueue().Depth() != 4 {
+		t.Fatalf("depth = %d, want 4 kept", st.SSDQueue().Depth())
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() *Results {
+		cfg := testConfig()
+		gen := workload.MixedRW(300*time.Millisecond, 3000, 2048, sim.NewRNG(14, "wl"))
+		return New(cfg, gen, nil).Run(6)
+	}
+	a, b := run(), run()
+	if a.AppSubmitted != b.AppSubmitted || a.AppCompleted != b.AppCompleted {
+		t.Fatal("request counts differ across identical runs")
+	}
+	if a.AppLatency.Mean() != b.AppLatency.Mean() {
+		t.Fatal("latency differs across identical runs")
+	}
+	for i := range a.Samples {
+		if a.Samples[i].CacheLoad != b.Samples[i].CacheLoad {
+			t.Fatalf("interval %d cache load differs", i)
+		}
+	}
+}
+
+func TestPolicyTimelineRecorded(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(50*time.Millisecond, 100, 64, sim.NewRNG(15, "wl"))
+	st := New(cfg, gen, nil)
+	st.NotePolicy(cache.WO, "G1")
+	res := st.Run(1)
+	if len(res.Timeline) != 1 || res.Timeline[0].Policy != cache.WO || res.Timeline[0].Group != "G1" {
+		t.Fatalf("timeline = %+v", res.Timeline)
+	}
+}
+
+func TestEq1CalibrationExposed(t *testing.T) {
+	cfg := testConfig()
+	gen := workload.RandomRead(time.Millisecond, 10, 16, sim.NewRNG(16, "wl"))
+	st := New(cfg, gen, nil)
+	if st.SSDLatency() <= 0 || st.HDDLatency() <= 0 {
+		t.Fatal("calibration constants missing")
+	}
+	if st.HDDLatency() < 10*st.SSDLatency() {
+		t.Errorf("tier gap too small: ssd=%v hdd=%v", st.SSDLatency(), st.HDDLatency())
+	}
+}
+
+func TestWriteCacheAbsorbsBypassedWrites(t *testing.T) {
+	cfg := testConfig()
+	cfg.Cache.InitialPolicy = cache.RO // all writes go to disk
+	gen := workload.RandomWrite(200*time.Millisecond, 4000, 2048, sim.NewRNG(17, "wl"))
+	res := New(cfg, gen, nil).Run(4)
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatal("run wedged")
+	}
+	// With the controller write cache, 4k wIOPS must be absorbed at µs
+	// latency — mean app latency well under a spindle seek.
+	if res.AppLatency.Mean() > 2*time.Millisecond {
+		t.Errorf("bypassed writes mean latency %v — controller cache not absorbing", res.AppLatency.Mean())
+	}
+}
+
+func TestHDDWriteCacheOverflowDegrades(t *testing.T) {
+	hddCfg := DefaultConfig().HDD
+	hddCfg.WriteCacheDepth = 8
+	hddCfg.DrainIOPS = 10
+	eng := sim.NewEngine()
+	m := device.NewHDD(hddCfg, sim.NewRNG(1, "h"))
+	m.SetClock(eng.Now)
+	fast, slow := 0, 0
+	for i := 0; i < 100; i++ {
+		svc := m.Service(&block.Request{Origin: block.AppWrite,
+			Extent: block.Extent{LBA: int64(i) * 1024, Sectors: 8}})
+		if svc <= hddCfg.WriteCacheLatency {
+			fast++
+		} else {
+			slow++
+		}
+	}
+	if fast == 0 || slow == 0 {
+		t.Errorf("write cache overflow not exercised: fast=%d slow=%d", fast, slow)
+	}
+	if m.WriteCacheRejects() == 0 {
+		t.Error("rejects counter not advanced")
+	}
+}

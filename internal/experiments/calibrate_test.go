@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"testing"
+)
+
+// TestCalibrationReport is a diagnostic, enabled with LBICA_CALIBRATE=1:
+// it prints per-interval detail for each workload under each scheme so the
+// workload parameters can be tuned against the paper's expected decision
+// timeline. It never fails.
+func TestCalibrationReport(t *testing.T) {
+	if os.Getenv("LBICA_CALIBRATE") == "" {
+		t.Skip("set LBICA_CALIBRATE=1 for the calibration dump")
+	}
+	for _, wl := range Workloads {
+		for _, sc := range Schemes {
+			res := Run(Spec{Workload: wl, Scheme: sc, Seed: 1})
+			fmt.Printf("\n===== %s / %s =====\n", wl, sc)
+			fmt.Printf("requests=%d hit=%.3f cacheLoadMean=%.0fus diskLoadMean=%.0fus avgLat=%v bypassed=%d\n",
+				res.AppCompleted, res.CacheStats.HitRatio(),
+				res.CacheLoadMean()/1000, res.DiskLoadMean()/1000,
+				res.AppLatency.Mean(), res.BypassedToDisk)
+			if sc == SchemeLBICA {
+				for _, pc := range res.Timeline {
+					fmt.Printf("  policy @ interval %3d: %-4s (%s)\n", pc.Interval, pc.Policy, pc.Group)
+				}
+				rows := Fig6(res)
+				step := len(rows) / 40
+				if step == 0 {
+					step = 1
+				}
+				for i := 0; i < len(rows); i += step {
+					r := rows[i]
+					fmt.Printf("  iv %3d cache=%8.0fus disk=%8.0fus burst=%-5v R=%4.1f W=%4.1f P=%4.1f E=%4.1f %s\n",
+						r.Interval, r.CacheLoad, r.DiskLoad, r.Burst, r.R, r.W, r.P, r.E, r.Policy)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package experiments regenerates the paper's evaluation section: every
+// figure (Figs. 4–7) plus the headline aggregates quoted in the abstract
+// and §IV, from full simulation runs of the 3 workloads × 3 schemes
+// matrix.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/core"
+	"lbica/internal/engine"
+	"lbica/internal/sib"
+	"lbica/internal/sim"
+	"lbica/internal/stats"
+	"lbica/internal/workload"
+)
+
+// Schemes under comparison.
+const (
+	SchemeWB    = "WB"
+	SchemeSIB   = "SIB"
+	SchemeLBICA = "LBICA"
+)
+
+// Workloads of the evaluation.
+const (
+	WorkloadTPCC = "tpcc"
+	WorkloadMail = "mail"
+	WorkloadWeb  = "web"
+)
+
+// Workloads lists the evaluation workloads in paper order.
+var Workloads = []string{WorkloadTPCC, WorkloadMail, WorkloadWeb}
+
+// Schemes lists the schemes in paper order.
+var Schemes = []string{SchemeWB, SchemeSIB, SchemeLBICA}
+
+// Spec describes one run.
+type Spec struct {
+	Workload string
+	Scheme   string
+	Seed     int64
+	// Intervals defaults to the paper's length for the workload (200;
+	// 175 for web). Interval defaults to 200 ms. RateFactor defaults to 1.
+	Intervals  int
+	Interval   time.Duration
+	RateFactor float64
+}
+
+// Normalize fills defaulted fields in place and returns the result.
+func (s Spec) Normalize() Spec {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.Intervals == 0 {
+		s.Intervals = PaperIntervals(s.Workload)
+	}
+	if s.Interval == 0 {
+		s.Interval = 200 * time.Millisecond
+	}
+	if s.RateFactor == 0 {
+		s.RateFactor = 1
+	}
+	return s
+}
+
+// PaperIntervals returns the interval count the paper plots for a
+// workload.
+func PaperIntervals(wl string) int {
+	if wl == WorkloadWeb {
+		return 175
+	}
+	return 200
+}
+
+// NewGenerator builds the named workload generator. It panics on unknown
+// names: specs are code, not user input.
+func NewGenerator(spec Spec) *workload.PhaseGen {
+	scale := workload.Scale{Interval: spec.Interval, Intervals: spec.Intervals, RateFactor: spec.RateFactor}
+	g := sim.NewRNG(spec.Seed, "workload:"+spec.Workload)
+	switch spec.Workload {
+	case WorkloadTPCC:
+		return workload.TPCC(scale, g)
+	case WorkloadMail:
+		return workload.MailServer(scale, g)
+	case WorkloadWeb:
+		return workload.WebServer(scale, g)
+	default:
+		panic(fmt.Sprintf("experiments: unknown workload %q", spec.Workload))
+	}
+}
+
+// NewBalancer builds the scheme's balancer (nil for the WB baseline).
+func NewBalancer(scheme string) engine.Balancer {
+	switch scheme {
+	case SchemeWB:
+		return nil
+	case SchemeSIB:
+		return sib.New(sib.DefaultConfig())
+	case SchemeLBICA:
+		return core.New(core.DefaultConfig())
+	default:
+		panic(fmt.Sprintf("experiments: unknown scheme %q", scheme))
+	}
+}
+
+// Run executes one workload × scheme simulation.
+func Run(spec Spec) *engine.Results {
+	spec = spec.Normalize()
+	cfg := engine.DefaultConfig()
+	cfg.Seed = spec.Seed
+	cfg.MonitorEvery = spec.Interval
+	gen := NewGenerator(spec)
+	st := engine.New(cfg, gen, NewBalancer(spec.Scheme))
+	res := st.Run(spec.Intervals)
+	res.Workload = spec.Workload
+	return res
+}
+
+// Matrix holds the 3×3 evaluation results indexed [workload][scheme].
+type Matrix map[string]map[string]*engine.Results
+
+// RunMatrix executes the full evaluation concurrently (each run is an
+// independent simulation).
+func RunMatrix(seed int64, rateFactor float64) Matrix {
+	m := make(Matrix, len(Workloads))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, wl := range Workloads {
+		m[wl] = make(map[string]*engine.Results, len(Schemes))
+		for _, sc := range Schemes {
+			wl, sc := wl, sc
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				res := Run(Spec{Workload: wl, Scheme: sc, Seed: seed, RateFactor: rateFactor})
+				mu.Lock()
+				m[wl][sc] = res
+				mu.Unlock()
+			}()
+		}
+	}
+	wg.Wait()
+	return m
+}
+
+// Fig4 returns the Fig. 4 series for one workload: per-interval I/O cache
+// load (max latency, µs) under each scheme.
+func Fig4(m Matrix, wl string) *stats.SeriesSet {
+	ss := stats.NewSeriesSet("fig4-" + wl + "-cache-load")
+	for _, sc := range Schemes {
+		res := m[wl][sc]
+		s := ss.Get(sc)
+		for _, smp := range res.Samples {
+			s.Append(smp.Interval, smp.End, us(smp.CacheLoad))
+		}
+	}
+	return ss
+}
+
+// Fig5 returns the Fig. 5 series for one workload: per-interval disk-
+// subsystem load (max latency, µs) under each scheme.
+func Fig5(m Matrix, wl string) *stats.SeriesSet {
+	ss := stats.NewSeriesSet("fig5-" + wl + "-disk-load")
+	for _, sc := range Schemes {
+		res := m[wl][sc]
+		s := ss.Get(sc)
+		for _, smp := range res.Samples {
+			s.Append(smp.Interval, smp.End, us(smp.DiskLoad))
+		}
+	}
+	return ss
+}
+
+// Fig6Row is one interval of the LBICA decision timeline (Fig. 6): both
+// loads plus the burst flag, census mix, and the policy in force.
+type Fig6Row struct {
+	Interval   int
+	CacheLoad  float64 // µs
+	DiskLoad   float64 // µs
+	Burst      bool
+	R, W, P, E float64 // census percentages at the interval's queue peak
+	Group      string
+	Policy     string
+}
+
+// Fig6 reconstructs the decision timeline from an LBICA run.
+func Fig6(res *engine.Results) []Fig6Row {
+	policyAt := make([]string, len(res.Samples))
+	groupAt := make([]string, len(res.Samples))
+	cur, curGroup := "WB", ""
+	ti := 0
+	for i := range res.Samples {
+		for ti < len(res.Timeline) && res.Timeline[ti].Interval <= i {
+			cur = res.Timeline[ti].Policy.String()
+			curGroup = res.Timeline[ti].Group
+			ti++
+		}
+		policyAt[i] = cur
+		groupAt[i] = curGroup
+	}
+	rows := make([]Fig6Row, len(res.Samples))
+	for i, smp := range res.Samples {
+		total := float64(smp.Arrivals.Total())
+		pct := func(n int) float64 {
+			if total == 0 {
+				return 0
+			}
+			return 100 * float64(n) / total
+		}
+		rows[i] = Fig6Row{
+			Interval:  smp.Interval,
+			CacheLoad: us(smp.CacheLoad),
+			DiskLoad:  us(smp.DiskLoad),
+			Burst:     smp.Bottleneck,
+			R:         pct(smp.Arrivals[block.AppRead]),
+			W:         pct(smp.Arrivals[block.AppWrite]),
+			P:         pct(smp.Arrivals[block.Promote]),
+			E:         pct(smp.Arrivals[block.Evict]),
+			Group:     groupAt[i],
+			Policy:    policyAt[i],
+		}
+	}
+	return rows
+}
+
+// WriteFig6CSV renders the timeline.
+func WriteFig6CSV(w io.Writer, rows []Fig6Row) error {
+	if _, err := fmt.Fprintln(w, "interval,cache_load_us,disk_load_us,burst,r_pct,w_pct,p_pct,e_pct,group,policy"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%d,%.1f,%.1f,%t,%.1f,%.1f,%.1f,%.1f,%s,%s\n",
+			r.Interval, r.CacheLoad, r.DiskLoad, r.Burst, r.R, r.W, r.P, r.E, r.Group, r.Policy); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig7Row is one bar group of Fig. 7: average end-to-end latency per
+// workload per scheme.
+type Fig7Row struct {
+	Workload string
+	AvgUS    map[string]float64
+}
+
+// Fig7 computes the average-latency comparison.
+func Fig7(m Matrix) []Fig7Row {
+	rows := make([]Fig7Row, 0, len(Workloads))
+	for _, wl := range Workloads {
+		row := Fig7Row{Workload: wl, AvgUS: map[string]float64{}}
+		for _, sc := range Schemes {
+			row.AvgUS[sc] = us(m[wl][sc].AppLatency.Mean())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// WriteFig7CSV renders the bars.
+func WriteFig7CSV(w io.Writer, rows []Fig7Row) error {
+	if _, err := fmt.Fprintln(w, "workload,wb_avg_us,sib_avg_us,lbica_avg_us"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if _, err := fmt.Fprintf(w, "%s,%.1f,%.1f,%.1f\n",
+			r.Workload, r.AvgUS[SchemeWB], r.AvgUS[SchemeSIB], r.AvgUS[SchemeLBICA]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Headlines are the paper's quoted aggregates.
+type Headlines struct {
+	// Per-workload cache-load reduction (mean of per-interval cache load),
+	// percent, LBICA vs each baseline. Positive = LBICA lower.
+	CacheLoadReductionVsWB  map[string]float64
+	CacheLoadReductionVsSIB map[string]float64
+	// Per-workload average-latency improvement, percent.
+	LatencyImprovementVsWB  map[string]float64
+	LatencyImprovementVsSIB map[string]float64
+	// Averages across workloads.
+	AvgCacheLoadReductionVsWB  float64
+	AvgCacheLoadReductionVsSIB float64
+	AvgLatencyImprovementVsWB  float64
+	AvgLatencyImprovementVsSIB float64
+	// Peak (best single workload) values.
+	MaxCacheLoadReductionVsWB float64
+	MaxLatencyImprovementVsWB float64
+}
+
+// ComputeHeadlines aggregates the matrix into the paper's headline
+// numbers.
+func ComputeHeadlines(m Matrix) Headlines {
+	h := Headlines{
+		CacheLoadReductionVsWB:  map[string]float64{},
+		CacheLoadReductionVsSIB: map[string]float64{},
+		LatencyImprovementVsWB:  map[string]float64{},
+		LatencyImprovementVsSIB: map[string]float64{},
+	}
+	for _, wl := range Workloads {
+		wb, sb, lb := m[wl][SchemeWB], m[wl][SchemeSIB], m[wl][SchemeLBICA]
+		h.CacheLoadReductionVsWB[wl] = stats.PercentChange(wb.CacheLoadMean(), lb.CacheLoadMean())
+		h.CacheLoadReductionVsSIB[wl] = stats.PercentChange(sb.CacheLoadMean(), lb.CacheLoadMean())
+		h.LatencyImprovementVsWB[wl] = stats.PercentChange(float64(wb.AppLatency.Mean()), float64(lb.AppLatency.Mean()))
+		h.LatencyImprovementVsSIB[wl] = stats.PercentChange(float64(sb.AppLatency.Mean()), float64(lb.AppLatency.Mean()))
+	}
+	n := float64(len(Workloads))
+	for _, wl := range Workloads {
+		h.AvgCacheLoadReductionVsWB += h.CacheLoadReductionVsWB[wl] / n
+		h.AvgCacheLoadReductionVsSIB += h.CacheLoadReductionVsSIB[wl] / n
+		h.AvgLatencyImprovementVsWB += h.LatencyImprovementVsWB[wl] / n
+		h.AvgLatencyImprovementVsSIB += h.LatencyImprovementVsSIB[wl] / n
+		if v := h.CacheLoadReductionVsWB[wl]; v > h.MaxCacheLoadReductionVsWB {
+			h.MaxCacheLoadReductionVsWB = v
+		}
+		if v := h.LatencyImprovementVsWB[wl]; v > h.MaxLatencyImprovementVsWB {
+			h.MaxLatencyImprovementVsWB = v
+		}
+	}
+	return h
+}
+
+// WriteHeadlines renders the aggregates as a markdown-ish table.
+func WriteHeadlines(w io.Writer, h Headlines) error {
+	var sb strings.Builder
+	sb.WriteString("| workload | cache-load vs WB | cache-load vs SIB | latency vs WB | latency vs SIB |\n")
+	sb.WriteString("|----------|-----------------:|------------------:|--------------:|---------------:|\n")
+	wls := make([]string, len(Workloads))
+	copy(wls, Workloads)
+	sort.Strings(wls)
+	for _, wl := range Workloads {
+		fmt.Fprintf(&sb, "| %-8s | %15.1f%% | %16.1f%% | %12.1f%% | %13.1f%% |\n",
+			wl, h.CacheLoadReductionVsWB[wl], h.CacheLoadReductionVsSIB[wl],
+			h.LatencyImprovementVsWB[wl], h.LatencyImprovementVsSIB[wl])
+	}
+	fmt.Fprintf(&sb, "| %-8s | %15.1f%% | %16.1f%% | %12.1f%% | %13.1f%% |\n",
+		"average", h.AvgCacheLoadReductionVsWB, h.AvgCacheLoadReductionVsSIB,
+		h.AvgLatencyImprovementVsWB, h.AvgLatencyImprovementVsSIB)
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+func us(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }

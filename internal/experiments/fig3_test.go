@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/core"
+	"lbica/internal/engine"
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+// Fig. 3 of the paper sketches the SSD-queue signature of four canonical
+// workloads. These tests drive each primitive through the full stack (no
+// balancer, WB policy) and check that the queue-arrival census carries the
+// published signature and classifies into the intended group — the
+// end-to-end validation of the characterization pipeline.
+
+// runPrimitive executes gen for a few intervals and returns the aggregate
+// SSD arrival census.
+func runPrimitive(t *testing.T, gen workload.Generator, prewarm bool) block.Census {
+	t.Helper()
+	cfg := engine.DefaultConfig()
+	cfg.Cache.Sets = 4096 // 32 Ki blocks = 128 MiB
+	cfg.Cache.Ways = 8
+	// Low watermarks so even a short write test exercises the flusher.
+	cfg.Cache.DirtyHighWatermark = 0.05
+	cfg.Cache.DirtyLowWatermark = 0.03
+	cfg.MonitorEvery = 100 * time.Millisecond
+	if prewarm {
+		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
+	} else {
+		cfg.PrewarmBlocks = 0
+	}
+	res := engine.New(cfg, gen, nil).Run(10)
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatalf("run wedged: %d of %d", res.AppCompleted, res.AppSubmitted)
+	}
+	var agg block.Census
+	for _, s := range res.Samples {
+		for i, v := range s.Arrivals {
+			agg[i] += v
+		}
+	}
+	return agg
+}
+
+func TestFig3aRandomReadSignature(t *testing.T) {
+	// Working set 3× the cache: hits serve from SSD (R), misses promote
+	// (P) — Fig. 3a, Group 1.
+	g := workload.RandomRead(time.Second, 6000, 96*1024, sim.NewRNG(41, "wl"))
+	c := runPrimitive(t, g, true)
+	if got := core.Classify(c, core.DefaultThresholds()); got != core.Group1RandomRead {
+		t.Fatalf("census %v classified %v, want Group 1", c, got)
+	}
+	if c.Ratio(block.AppRead) < 0.3 || c.Ratio(block.Promote) < 0.1 {
+		t.Errorf("R/P signature weak: %v", c)
+	}
+}
+
+func TestFig3bMixedReadWriteSignature(t *testing.T) {
+	// Cache-resident mixed load: reads hit (R), writes buffer (W) —
+	// Fig. 3b, Group 2.
+	g := workload.MixedRW(time.Second, 6000, 16*1024, sim.NewRNG(42, "wl"))
+	c := runPrimitive(t, g, true)
+	if got := core.Classify(c, core.DefaultThresholds()); got != core.Group2MixedRW {
+		t.Fatalf("census %v classified %v, want Group 2", c, got)
+	}
+}
+
+func TestFig3cWriteIntensiveSignature(t *testing.T) {
+	// Write-intensive over a small set: buffered writes (W) plus flusher
+	// evict-reads (E) — Fig. 3c, Group 3.
+	g := workload.RandomWrite(time.Second, 6000, 16*1024, sim.NewRNG(43, "wl"))
+	c := runPrimitive(t, g, true)
+	got := core.Classify(c, core.DefaultThresholds())
+	if got != core.Group3RandomWrite && got != core.Group3SeqWrite {
+		t.Fatalf("census %v classified %v, want Group 3", c, got)
+	}
+	if c[block.Evict] == 0 {
+		t.Error("no evict traffic in a sustained write burst (flusher idle?)")
+	}
+}
+
+func TestFig3dSequentialReadSignature(t *testing.T) {
+	// Cold streaming reads: every access misses and promotes — the queue
+	// is essentially all P (Fig. 3d, Group 4), and LBICA's assignment for
+	// it is WB because the disk serves the stream anyway.
+	g := workload.SequentialRead(time.Second, 4000, 1<<21, sim.NewRNG(44, "wl"))
+	c := runPrimitive(t, g, false)
+	if got := core.Classify(c, core.DefaultThresholds()); got != core.Group4SeqRead {
+		t.Fatalf("census %v classified %v, want Group 4", c, got)
+	}
+	if c.Ratio(block.Promote) < 0.6 {
+		t.Errorf("P share %.2f, want promote-dominated", c.Ratio(block.Promote))
+	}
+}

@@ -1,0 +1,344 @@
+// Package ioqueue implements the per-device request queue of the simulated
+// block layer: FIFO dispatch order with Linux-elevator-style back/front
+// merging of contiguous requests, incremental census by request origin, and
+// tail extraction for load-balancer bypass decisions.
+//
+// Merging matters to LBICA twice over: sequential streams collapse into few
+// large requests (so a "sequential write" burst shows a short queue of big
+// W/E requests), and the paper's stated bypass rule targets exactly the
+// requests that cannot merge with anything already queued.
+package ioqueue
+
+import (
+	"time"
+
+	"lbica/internal/block"
+)
+
+// node is a doubly-linked queue entry.
+type node struct {
+	req        *block.Request
+	prev, next *node
+}
+
+// Queue is a single device's pending-request queue. The zero value is not
+// usable; call New.
+type Queue struct {
+	name string
+
+	head, tail *node
+	size       int
+
+	census block.Census
+
+	// Elevator hashes: boundary sector → most recent queued node with that
+	// boundary, per origin. backHash keys on Extent.End() (back-merge
+	// candidates); frontHash keys on Extent.LBA (front-merge candidates).
+	backHash  map[int64]*node
+	frontHash map[int64]*node
+
+	// maxMergeSectors caps a merged request's size, mirroring the block
+	// layer's max_sectors_kb. 0 disables merging.
+	maxMergeSectors int64
+
+	// Dispatch discipline state (LOOK).
+	discipline Discipline
+	headPos    int64
+	sweepUp    bool
+
+	// Cumulative accounting.
+	pushed    uint64
+	popped    uint64
+	merges    uint64
+	bypassed  uint64
+	depthPeak int
+	arrivals  block.Census
+}
+
+// Discipline selects the dispatch order.
+type Discipline uint8
+
+// Dispatch disciplines.
+const (
+	// FIFODispatch serves requests in arrival order (the default; queue
+	// positions are meaningful to Eq. 1 and tail bypassing).
+	FIFODispatch Discipline = iota
+	// LookDispatch serves requests in elevator (LOOK) order: continue in
+	// the current LBA direction, reverse when nothing remains ahead.
+	// Starvation-free (every request is served within two sweeps) and
+	// seek-friendly on rotational devices.
+	LookDispatch
+)
+
+// Option configures a Queue.
+type Option func(*Queue)
+
+// WithMaxMergeSectors caps merged request size in sectors; 0 disables
+// merging entirely.
+func WithMaxMergeSectors(n int64) Option {
+	return func(q *Queue) { q.maxMergeSectors = n }
+}
+
+// WithDiscipline selects the dispatch order (default FIFODispatch).
+func WithDiscipline(d Discipline) Option {
+	return func(q *Queue) { q.discipline = d }
+}
+
+// DefaultMaxMergeSectors mirrors a 512 KiB max_sectors_kb.
+const DefaultMaxMergeSectors = 1024
+
+// New returns an empty queue.
+func New(name string, opts ...Option) *Queue {
+	q := &Queue{
+		name:            name,
+		backHash:        make(map[int64]*node),
+		frontHash:       make(map[int64]*node),
+		maxMergeSectors: DefaultMaxMergeSectors,
+		sweepUp:         true,
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q
+}
+
+// Name returns the queue's name.
+func (q *Queue) Name() string { return q.name }
+
+// Depth returns the number of pending requests.
+func (q *Queue) Depth() int { return q.size }
+
+// DepthPeak returns the highest depth observed since creation.
+func (q *Queue) DepthPeak() int { return q.depthPeak }
+
+// Pushed returns the cumulative number of Push calls (merged or not).
+func (q *Queue) Pushed() uint64 { return q.pushed }
+
+// Popped returns the cumulative number of requests dispatched.
+func (q *Queue) Popped() uint64 { return q.popped }
+
+// Merges returns the cumulative number of successful merges.
+func (q *Queue) Merges() uint64 { return q.merges }
+
+// Extracted returns the cumulative number of requests removed by Extract.
+func (q *Queue) Extracted() uint64 { return q.bypassed }
+
+// Census returns the in-queue census by origin.
+func (q *Queue) Census() block.Census { return q.census }
+
+// Arrivals returns the cumulative census of every request ever pushed
+// (merged arrivals included). Interval deltas of this census are the
+// workload-characterization signal: they describe what entered the queue,
+// independent of how fast it drained.
+func (q *Queue) Arrivals() block.Census { return q.arrivals }
+
+// Push enqueues r at the tail, first attempting a back merge (r extends a
+// queued request) then a front merge (r prepends one). Merge candidates
+// must share r's origin and stay within the size cap. It reports whether r
+// was absorbed into an existing request.
+func (q *Queue) Push(r *block.Request, now time.Duration) (merged bool) {
+	q.pushed++
+	q.arrivals[r.Origin]++
+	r.Submit = now
+	if q.maxMergeSectors > 0 {
+		if n, ok := q.backHash[r.Extent.LBA]; ok && q.canMerge(n.req, r) {
+			q.absorb(n, r, true)
+			return true
+		}
+		if n, ok := q.frontHash[r.Extent.End()]; ok && q.canMerge(n.req, r) {
+			q.absorb(n, r, false)
+			return true
+		}
+	}
+	n := &node{req: r}
+	if q.tail == nil {
+		q.head, q.tail = n, n
+	} else {
+		n.prev = q.tail
+		q.tail.next = n
+		q.tail = n
+	}
+	q.size++
+	if q.size > q.depthPeak {
+		q.depthPeak = q.size
+	}
+	q.census[r.Origin]++
+	q.index(n)
+	return false
+}
+
+func (q *Queue) canMerge(a, b *block.Request) bool {
+	if a.Origin != b.Origin {
+		return false
+	}
+	// Shadowed and unshadowed writes must not merge: cancelling a shadowed
+	// head would silently drop an absorbed unshadowed write's only copy.
+	if a.Shadowed != b.Shadowed {
+		return false
+	}
+	if !a.Extent.Adjacent(b.Extent) {
+		return false
+	}
+	return a.Extent.Sectors+b.Extent.Sectors <= q.maxMergeSectors
+}
+
+// absorb folds r into queued node n. back=true means r extends n's end.
+func (q *Queue) absorb(n *node, r *block.Request, back bool) {
+	q.merges++
+	q.unindex(n)
+	n.req.Extent = n.req.Extent.Union(r.Extent)
+	n.req.Merged += r.Merged + 1
+	// Chain completion: when the merged head finishes, the absorbed request
+	// finishes too, with its own Submit preserved for latency accounting.
+	prev := n.req.OnComplete
+	absorbed := r
+	n.req.OnComplete = func(head *block.Request) {
+		if prev != nil {
+			prev(head)
+		}
+		absorbed.Dispatch = head.Dispatch
+		absorbed.Complete = head.Complete
+		absorbed.Merged = head.Merged
+		if absorbed.OnComplete != nil {
+			absorbed.OnComplete(absorbed)
+		}
+	}
+	q.index(n)
+	_ = back
+}
+
+func (q *Queue) index(n *node) {
+	q.backHash[n.req.Extent.End()] = n
+	q.frontHash[n.req.Extent.LBA] = n
+}
+
+func (q *Queue) unindex(n *node) {
+	if q.backHash[n.req.Extent.End()] == n {
+		delete(q.backHash, n.req.Extent.End())
+	}
+	if q.frontHash[n.req.Extent.LBA] == n {
+		delete(q.frontHash, n.req.Extent.LBA)
+	}
+}
+
+// Pop removes and returns the next request per the dispatch discipline,
+// or nil when empty.
+func (q *Queue) Pop() *block.Request {
+	if q.head == nil {
+		return nil
+	}
+	n := q.head
+	if q.discipline == LookDispatch {
+		n = q.lookNext()
+	}
+	q.remove(n)
+	q.popped++
+	if q.discipline == LookDispatch {
+		q.headPos = n.req.Extent.End()
+	}
+	return n.req
+}
+
+// lookNext implements LOOK: the nearest request at or past the head
+// position in the current sweep direction; reverse when the direction is
+// exhausted. The queue is non-empty when called.
+func (q *Queue) lookNext() *node {
+	pick := func(up bool) *node {
+		var best *node
+		for n := q.head; n != nil; n = n.next {
+			lba := n.req.Extent.LBA
+			if up && lba < q.headPos {
+				continue
+			}
+			if !up && lba > q.headPos {
+				continue
+			}
+			if best == nil {
+				best = n
+				continue
+			}
+			if up && lba < best.req.Extent.LBA {
+				best = n
+			}
+			if !up && lba > best.req.Extent.LBA {
+				best = n
+			}
+		}
+		return best
+	}
+	if n := pick(q.sweepUp); n != nil {
+		return n
+	}
+	q.sweepUp = !q.sweepUp
+	if n := pick(q.sweepUp); n != nil {
+		return n
+	}
+	return q.head // unreachable for a non-empty queue, but stay safe
+}
+
+// Peek returns the head request without removing it, or nil when empty.
+func (q *Queue) Peek() *block.Request {
+	if q.head == nil {
+		return nil
+	}
+	return q.head.req
+}
+
+func (q *Queue) remove(n *node) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		q.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		q.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+	q.size--
+	q.census[n.req.Origin]--
+	q.unindex(n)
+}
+
+// Snapshot returns the pending requests in dispatch order. The slice is
+// fresh; the requests are shared.
+func (q *Queue) Snapshot() []*block.Request {
+	out := make([]*block.Request, 0, q.size)
+	for n := q.head; n != nil; n = n.next {
+		out = append(out, n.req)
+	}
+	return out
+}
+
+// Extract removes and returns every pending request for which pred returns
+// true. pos is the request's current dispatch position (0 = next to go).
+// Extracted requests keep their Submit stamps; the caller re-routes them.
+func (q *Queue) Extract(pred func(pos int, r *block.Request) bool) []*block.Request {
+	var out []*block.Request
+	pos := 0
+	for n := q.head; n != nil; {
+		next := n.next
+		if pred(pos, n.req) {
+			q.remove(n)
+			q.bypassed++
+			out = append(out, n.req)
+		}
+		pos++
+		n = next
+	}
+	return out
+}
+
+// ExtractTail removes and returns all requests at dispatch position >= keep,
+// i.e. everything past the bottleneck threshold — LBICA's Group-3 rule.
+func (q *Queue) ExtractTail(keep int) []*block.Request {
+	return q.Extract(func(pos int, _ *block.Request) bool { return pos >= keep })
+}
+
+// EstimatedWait returns the naive wait estimate for the request at dispatch
+// position pos given a calibrated mean service latency: pos × svc. This is
+// Eq. 1 applied to a single queue position, the quantity SIB ranks by.
+func EstimatedWait(pos int, svc time.Duration) time.Duration {
+	return time.Duration(pos) * svc
+}

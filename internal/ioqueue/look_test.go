@@ -1,0 +1,128 @@
+package ioqueue
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"lbica/internal/block"
+)
+
+func TestLookDispatchOrdersBySweep(t *testing.T) {
+	q := New("hdd", WithDiscipline(LookDispatch), WithMaxMergeSectors(0))
+	// Arrival order deliberately scrambled.
+	for _, lba := range []int64{5000, 100, 9000, 4000, 200} {
+		q.Push(req(uint64(lba), block.ReadMiss, lba, 8), 0)
+	}
+	var got []int64
+	for {
+		r := q.Pop()
+		if r == nil {
+			break
+		}
+		got = append(got, r.Extent.LBA)
+	}
+	// Head starts at 0 sweeping up: strictly ascending.
+	want := []int64{100, 200, 4000, 5000, 9000}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookReversesWhenDirectionExhausted(t *testing.T) {
+	q := New("hdd", WithDiscipline(LookDispatch), WithMaxMergeSectors(0))
+	q.Push(req(1, block.ReadMiss, 1000, 8), 0)
+	if r := q.Pop(); r.Extent.LBA != 1000 {
+		t.Fatal("setup")
+	}
+	// Head is now at 1008 sweeping up; only lower requests remain.
+	q.Push(req(2, block.ReadMiss, 100, 8), 0)
+	q.Push(req(3, block.ReadMiss, 500, 8), 0)
+	if r := q.Pop(); r.Extent.LBA != 500 {
+		t.Fatalf("after reversal got %d, want nearest-below 500", r.Extent.LBA)
+	}
+	if r := q.Pop(); r.Extent.LBA != 100 {
+		t.Fatal("downward sweep out of order")
+	}
+}
+
+// Property: LOOK serves every request exactly once (no loss, no
+// duplication) and is starvation-free within two direction changes of the
+// request's arrival sweep.
+func TestLookConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		q := New("hdd", WithDiscipline(LookDispatch), WithMaxMergeSectors(0))
+		want := map[uint64]bool{}
+		id := uint64(0)
+		popped := 0
+		for step := 0; step < 300; step++ {
+			if r.Intn(3) > 0 {
+				id++
+				q.Push(req(id, block.ReadMiss, int64(r.Intn(1<<20))*8, 8), 0)
+				want[id] = true
+			} else if rr := q.Pop(); rr != nil {
+				if !want[rr.ID] {
+					return false // duplicate or unknown
+				}
+				delete(want, rr.ID)
+				popped++
+			}
+		}
+		for {
+			rr := q.Pop()
+			if rr == nil {
+				break
+			}
+			if !want[rr.ID] {
+				return false
+			}
+			delete(want, rr.ID)
+		}
+		return len(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// LOOK dispatch must produce monotone runs: direction changes are rare
+// relative to pops on a static queue.
+func TestLookMinimizesDirectionChanges(t *testing.T) {
+	q := New("hdd", WithDiscipline(LookDispatch), WithMaxMergeSectors(0))
+	r := rand.New(rand.NewSource(5))
+	n := 200
+	for i := 0; i < n; i++ {
+		q.Push(req(uint64(i), block.ReadMiss, int64(r.Intn(1<<20))*8, 8), 0)
+	}
+	var lbas []int64
+	for {
+		rr := q.Pop()
+		if rr == nil {
+			break
+		}
+		lbas = append(lbas, rr.Extent.LBA)
+	}
+	changes := 0
+	for i := 2; i < len(lbas); i++ {
+		up1 := lbas[i-1] >= lbas[i-2]
+		up2 := lbas[i] >= lbas[i-1]
+		if up1 != up2 {
+			changes++
+		}
+	}
+	if changes > 2 {
+		t.Errorf("%d direction changes draining a static queue, want ≤2 (one sweep each way)", changes)
+	}
+}
+
+func TestFIFOIsDefault(t *testing.T) {
+	q := New("x", WithMaxMergeSectors(0))
+	q.Push(req(1, block.ReadMiss, 9000, 8), 0)
+	q.Push(req(2, block.ReadMiss, 100, 8), 0)
+	if q.Pop().ID != 1 {
+		t.Fatal("default discipline must be FIFO")
+	}
+}

@@ -1,0 +1,97 @@
+package sib
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/engine"
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+// Property: whatever the initial queue depths, a SIB scan never leaves the
+// system in a state where moving one more request (or one fewer) would
+// have been clearly better — the transfer count lands within one disk
+// service of the equilibrium.
+func TestScanEquilibriumProperty(t *testing.T) {
+	f := func(ssdDepth16, hddDepth8 uint16) bool {
+		ssdDepth := int(ssdDepth16%4000) + 1
+		hddDepth := int(hddDepth8 % 64)
+
+		s := New(Config{ScanEvery: 10 * time.Millisecond})
+		cfg := engine.DefaultConfig()
+		cfg.Cache.Sets = 64
+		cfg.Cache.Ways = 2
+		cfg.PrewarmBlocks = 0
+		gen := workload.RandomRead(time.Millisecond, 10, 16, sim.NewRNG(7, "wl"))
+		st := engine.New(cfg, gen, s)
+
+		lba := int64(1 << 30)
+		for i := 0; i < ssdDepth; i++ {
+			st.SSDQueue().Push(&block.Request{Origin: block.AppWrite, Shadowed: true,
+				Extent: block.Extent{LBA: lba, Sectors: 8}}, 0)
+			lba += 1024
+		}
+		for i := 0; i < hddDepth; i++ {
+			st.HDDQueue().Push(&block.Request{Origin: block.ReadMiss,
+				Extent: block.Extent{LBA: lba, Sectors: 8}}, 0)
+			lba += 1024
+		}
+
+		s.scan()
+
+		moved := s.Bypassed()
+		after := st.SSDQueue().Depth()
+		ssdWait := float64(after) * float64(st.SSDLatency())
+		diskWait := float64(hddDepth+moved+1) * float64(st.HDDLatency())
+		hdd := float64(st.HDDLatency())
+
+		if moved == 0 {
+			// Not moving must have been (near) right: the tail's wait must
+			// not exceed the disk alternative by more than one disk service.
+			return ssdWait <= diskWait+hdd
+		}
+		// Moved: neither over- nor under-shot by more than one service.
+		return ssdWait <= diskWait+hdd && diskWait <= ssdWait+2*hdd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// A scan on an empty queue is free: no stall, no counters.
+func TestScanEmptyQueueNoop(t *testing.T) {
+	s := New(DefaultConfig())
+	gen := workload.RandomRead(time.Millisecond, 10, 16, sim.NewRNG(8, "wl"))
+	st := smallStack(s, gen)
+	pending := st.Engine().Pending()
+	s.scan()
+	if s.Scans() != 0 || st.Engine().Pending() != pending {
+		t.Error("empty-queue scan did work")
+	}
+}
+
+// WTWO read-after-write: data written through SIB's cache is served from
+// the SSD on the next read — the one hit class SIB preserves.
+func TestReadAfterWriteHitsEndToEnd(t *testing.T) {
+	s := New(DefaultConfig())
+	gen := workload.NewReplay("raw", []workload.Request{
+		{At: 0, Op: block.Write, Extent: block.Extent{LBA: 0, Sectors: 8}},
+		{At: 50 * time.Millisecond, Op: block.Read, Extent: block.Extent{LBA: 0, Sectors: 8}},
+	})
+	cfg := engine.DefaultConfig()
+	cfg.Cache.Sets = 64
+	cfg.Cache.Ways = 2
+	cfg.PrewarmBlocks = 0
+	cfg.MonitorEvery = 50 * time.Millisecond
+	st := engine.New(cfg, gen, s)
+	res := st.Run(2)
+	if res.AppCompleted != 2 {
+		t.Fatalf("completed %d of 2", res.AppCompleted)
+	}
+	if res.CacheStats.ReadHits != 1 {
+		t.Errorf("read after write missed: %+v", res.CacheStats)
+	}
+}

@@ -1,0 +1,109 @@
+package sib
+
+import (
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/cache"
+	"lbica/internal/engine"
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+func smallStack(s *SIB, gen workload.Generator) *engine.Stack {
+	cfg := engine.DefaultConfig()
+	cfg.Cache.Sets = 256
+	cfg.Cache.Ways = 4
+	cfg.PrewarmBlocks = 512
+	cfg.MonitorEvery = 50 * time.Millisecond
+	return engine.New(cfg, gen, s)
+}
+
+func TestSIBPinsWTWO(t *testing.T) {
+	s := New(DefaultConfig())
+	st := smallStack(s, workload.RandomRead(10*time.Millisecond, 100, 64, sim.NewRNG(1, "wl")))
+	if st.Cache().Policy() != cache.WTWO {
+		t.Fatalf("policy = %v, want WTWO", st.Cache().Policy())
+	}
+}
+
+func TestSIBScanMovesTailWhenCacheBottlenecked(t *testing.T) {
+	s := New(Config{ScanEvery: 10 * time.Millisecond, ScanOverheadPerRequest: 0})
+	st := smallStack(s, workload.RandomRead(10*time.Millisecond, 100, 64, sim.NewRNG(2, "wl")))
+
+	// Deep SSD queue of shadowed writes, idle disk.
+	lba := int64(1 << 30)
+	for i := 0; i < 2000; i++ {
+		r := &block.Request{Origin: block.AppWrite, Shadowed: true,
+			Extent: block.Extent{LBA: lba, Sectors: 8}}
+		st.SSDQueue().Push(r, 0)
+		lba += 1024
+	}
+	s.scan()
+	if s.Bypassed() == 0 {
+		t.Fatal("bottlenecked queue: nothing bypassed")
+	}
+	if s.Scanned() < 2000 {
+		t.Errorf("scanned = %d, want full queue walk", s.Scanned())
+	}
+	// Equilibrium: after the move, the remaining tail's SSD wait must not
+	// exceed the projected disk wait by more than one request's worth in
+	// either direction — SIB must neither under- nor over-shift.
+	moved := s.Bypassed()
+	ssdWait := float64(st.SSDQueue().Depth()) * float64(st.SSDLatency())
+	diskWait := float64(moved+1) * float64(st.HDDLatency())
+	if ssdWait > diskWait+float64(st.HDDLatency()) {
+		t.Errorf("under-shifted: ssd wait %.0fus vs projected disk wait %.0fus", ssdWait/1e3, diskWait/1e3)
+	}
+	if diskWait > ssdWait+2*float64(st.HDDLatency()) {
+		t.Errorf("over-shifted: disk wait %.0fus vs ssd wait %.0fus", diskWait/1e3, ssdWait/1e3)
+	}
+}
+
+func TestSIBScanIdleWhenBalanced(t *testing.T) {
+	s := New(Config{ScanEvery: 10 * time.Millisecond})
+	st := smallStack(s, workload.RandomRead(10*time.Millisecond, 100, 64, sim.NewRNG(3, "wl")))
+	// Small SSD queue, loaded disk queue: no bypassing.
+	st.SSDQueue().Push(&block.Request{Origin: block.AppRead, Extent: block.Extent{LBA: 0, Sectors: 8}}, 0)
+	for i := 0; i < 64; i++ {
+		st.HDDQueue().Push(&block.Request{Origin: block.ReadMiss,
+			Extent: block.Extent{LBA: int64(1+i) * 4096, Sectors: 8}}, 0)
+	}
+	s.scan()
+	if s.Bypassed() != 0 {
+		t.Error("balanced system must not bypass")
+	}
+}
+
+func TestSIBChargesScanOverhead(t *testing.T) {
+	s := New(Config{ScanEvery: 10 * time.Millisecond, ScanOverheadPerRequest: time.Microsecond})
+	st := smallStack(s, workload.RandomRead(10*time.Millisecond, 100, 64, sim.NewRNG(4, "wl")))
+	for i := 0; i < 100; i++ {
+		st.SSDQueue().Push(&block.Request{Origin: block.AppRead,
+			Extent: block.Extent{LBA: int64(i) * 4096, Sectors: 8}}, 0)
+	}
+	before := st.Engine().Pending()
+	s.scan()
+	// The stall schedules a completion event on the engine.
+	if st.Engine().Pending() <= before {
+		t.Error("scan overhead did not occupy the SSD")
+	}
+}
+
+func TestSIBEndToEndRunCompletes(t *testing.T) {
+	s := New(DefaultConfig())
+	gen := workload.MixedRW(200*time.Millisecond, 4000, 2048, sim.NewRNG(5, "wl"))
+	st := smallStack(s, gen)
+	res := st.Run(4)
+	if res.AppCompleted != res.AppSubmitted {
+		t.Fatalf("SIB run wedged: %d of %d", res.AppCompleted, res.AppSubmitted)
+	}
+	if res.Scheme != "SIB" {
+		t.Errorf("scheme = %q", res.Scheme)
+	}
+	// WTWO keeps the cache clean throughout.
+	if res.CacheStats.DirtyEvicts != 0 {
+		t.Error("SIB cache must stay clean")
+	}
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventExactlyAtHorizonFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(100, func() { fired = true })
+	e.Run(100)
+	if !fired {
+		t.Error("event at the horizon boundary must fire (horizon is inclusive)")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(time.Duration(i), func() {})
+	}
+	ev := e.At(10, func() {})
+	ev.Cancel()
+	e.RunUntilIdle()
+	if e.Fired() != 5 {
+		t.Errorf("fired = %d, want 5 (cancelled events do not count)", e.Fired())
+	}
+}
+
+func TestPendingCountsCancelledUntilReaped(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(10, func() {})
+	ev.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("pending = %d; cancellation is lazy", e.Pending())
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 {
+		t.Errorf("pending = %d after drain", e.Pending())
+	}
+}
+
+func TestEventTimeAccessor(t *testing.T) {
+	e := NewEngine()
+	ev := e.At(42, func() {})
+	if ev.Time() != 42 {
+		t.Errorf("Time() = %v", ev.Time())
+	}
+}
+
+func TestRNGHelpers(t *testing.T) {
+	g := NewRNG(5, "helpers")
+	if n := g.Intn(10); n < 0 || n >= 10 {
+		t.Errorf("Intn out of range: %d", n)
+	}
+	if n := g.Int63n(100); n < 0 || n >= 100 {
+		t.Errorf("Int63n out of range: %d", n)
+	}
+	p := g.Perm(10)
+	seen := make([]bool, 10)
+	for _, v := range p {
+		seen[v] = true
+	}
+	for i, ok := range seen {
+		if !ok {
+			t.Errorf("Perm missing %d", i)
+		}
+	}
+	if g.Name() != "helpers" {
+		t.Errorf("Name() = %q", g.Name())
+	}
+	if z := g.Zipf(100, 1.1); z < 0 || z >= 100 {
+		t.Errorf("Zipf out of range: %d", z)
+	}
+}
+
+func TestNewZipfPanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewZipf(0) must panic")
+		}
+	}()
+	NewZipf(NewRNG(1, "z"), 0, 1)
+}
+
+func TestDistStrings(t *testing.T) {
+	g := NewRNG(1, "s")
+	for _, d := range []Dist{
+		Deterministic{V: time.Second},
+		Uniform{Lo: 1, Hi: 2, G: g},
+		Exponential{M: time.Millisecond, G: g},
+		LogNormal{M: time.Millisecond, Sigma: 0.3, G: g},
+		BoundedPareto{Lo: 1, Hi: 10, Alpha: 1.5, G: g},
+	} {
+		if d.String() == "" {
+			t.Errorf("%T has empty String()", d)
+		}
+	}
+}
+
+func TestBoundedParetoDegenerate(t *testing.T) {
+	g := NewRNG(2, "p")
+	p := BoundedPareto{Lo: 5, Hi: 5, Alpha: 2, G: g}
+	if p.Sample() != 5 || p.Mean() != 5 {
+		t.Error("degenerate pareto must return Lo")
+	}
+}

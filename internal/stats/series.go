@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one interval sample in a time series.
+type Point struct {
+	Interval int           // interval index, 0-based
+	At       time.Duration // virtual time of the sample (interval end)
+	Value    float64
+}
+
+// Series is an append-only per-interval series of one metric.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Append adds a point. Interval indexes are expected to be nondecreasing.
+func (s *Series) Append(interval int, at time.Duration, v float64) {
+	s.Points = append(s.Points, Point{Interval: interval, At: at, Value: v})
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Value returns the value at interval i, or 0 if absent.
+func (s *Series) Value(i int) float64 {
+	for _, p := range s.Points {
+		if p.Interval == i {
+			return p.Value
+		}
+	}
+	return 0
+}
+
+// Mean returns the mean of all point values (0 when empty).
+func (s *Series) Mean() float64 {
+	if len(s.Points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range s.Points {
+		sum += p.Value
+	}
+	return sum / float64(len(s.Points))
+}
+
+// Max returns the largest point value (0 when empty).
+func (s *Series) Max() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.Value > m {
+			m = p.Value
+		}
+	}
+	return m
+}
+
+// SeriesSet is a named collection of series sharing the interval axis —
+// one figure's worth of curves.
+type SeriesSet struct {
+	Title  string
+	series map[string]*Series
+	order  []string
+}
+
+// NewSeriesSet returns an empty set.
+func NewSeriesSet(title string) *SeriesSet {
+	return &SeriesSet{Title: title, series: make(map[string]*Series)}
+}
+
+// Get returns the named series, creating it on first use.
+func (ss *SeriesSet) Get(name string) *Series {
+	if s, ok := ss.series[name]; ok {
+		return s
+	}
+	s := &Series{Name: name}
+	ss.series[name] = s
+	ss.order = append(ss.order, name)
+	return s
+}
+
+// Names returns series names in creation order.
+func (ss *SeriesSet) Names() []string {
+	out := make([]string, len(ss.order))
+	copy(out, ss.order)
+	return out
+}
+
+// WriteCSV emits "interval,<name1>,<name2>,..." rows. Intervals are the
+// union across series; missing values render empty.
+func (ss *SeriesSet) WriteCSV(w io.Writer) error {
+	intervals := map[int]bool{}
+	for _, name := range ss.order {
+		for _, p := range ss.series[name].Points {
+			intervals[p.Interval] = true
+		}
+	}
+	keys := make([]int, 0, len(intervals))
+	for k := range intervals {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+
+	header := append([]string{"interval"}, ss.order...)
+	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
+		return err
+	}
+	// Index points per series for O(1) row assembly.
+	idx := make(map[string]map[int]float64, len(ss.order))
+	for _, name := range ss.order {
+		m := make(map[int]float64)
+		for _, p := range ss.series[name].Points {
+			m[p.Interval] = p.Value
+		}
+		idx[name] = m
+	}
+	for _, iv := range keys {
+		row := make([]string, 0, len(header))
+		row = append(row, fmt.Sprintf("%d", iv))
+		for _, name := range ss.order {
+			if v, ok := idx[name][iv]; ok {
+				row = append(row, fmt.Sprintf("%.3f", v))
+			} else {
+				row = append(row, "")
+			}
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PercentChange returns 100*(from-to)/from — the "reduction" convention the
+// paper uses (positive = to is lower/better). Returns 0 when from is 0.
+func PercentChange(from, to float64) float64 {
+	if from == 0 {
+		return 0
+	}
+	return 100 * (from - to) / from
+}

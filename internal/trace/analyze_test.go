@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+)
+
+// record builds a binary trace from events.
+func record(t *testing.T, events []Event) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewBinaryWriter(&buf)
+	for _, e := range events {
+		w.Record(e)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestWindowCensus(t *testing.T) {
+	buf := record(t, []Event{
+		{At: 10 * time.Millisecond, Kind: Queued, Dev: SSD, ID: 1, Origin: block.AppRead},
+		{At: 20 * time.Millisecond, Kind: Queued, Dev: SSD, ID: 2, Origin: block.Promote},
+		{At: 30 * time.Millisecond, Kind: Queued, Dev: HDD, ID: 3, Origin: block.ReadMiss},
+		{At: 120 * time.Millisecond, Kind: Merged, Dev: SSD, ID: 4, Origin: block.AppWrite},
+		{At: 130 * time.Millisecond, Kind: Dispatched, Dev: SSD, ID: 1, Origin: block.AppRead},
+	})
+	wins, err := WindowCensus(buf, SSD, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wins) != 2 {
+		t.Fatalf("windows = %d, want 2", len(wins))
+	}
+	if wins[0].Census[block.AppRead] != 1 || wins[0].Census[block.Promote] != 1 {
+		t.Errorf("window 0 census = %v", wins[0].Census)
+	}
+	if wins[0].Census[block.ReadMiss] != 0 {
+		t.Error("HDD event leaked into SSD census")
+	}
+	// Merged arrivals count; Dispatched does not.
+	if wins[1].Census[block.AppWrite] != 1 || wins[1].Census.Total() != 1 {
+		t.Errorf("window 1 census = %v", wins[1].Census)
+	}
+	if wins[1].Start != 100*time.Millisecond {
+		t.Errorf("window 1 start = %v", wins[1].Start)
+	}
+}
+
+func TestWindowCensusValidation(t *testing.T) {
+	if _, err := WindowCensus(bytes.NewReader(nil), SSD, 0); err == nil {
+		t.Error("zero window must error")
+	}
+	wins, err := WindowCensus(bytes.NewReader(nil), SSD, time.Second)
+	if err != nil || len(wins) != 0 {
+		t.Errorf("empty trace: %v %v", wins, err)
+	}
+}
+
+func TestAnalyzeQueueAndServiceDecomposition(t *testing.T) {
+	buf := record(t, []Event{
+		{At: 0, Kind: Queued, Dev: SSD, ID: 1, Origin: block.AppRead, Sector: 8},
+		{At: 100 * time.Microsecond, Kind: Dispatched, Dev: SSD, ID: 1, Origin: block.AppRead},
+		{At: 250 * time.Microsecond, Kind: Completed, Dev: SSD, ID: 1, Origin: block.AppRead},
+		{At: 0, Kind: Queued, Dev: HDD, ID: 2, Origin: block.Writeback, Sector: 16},
+		{At: time.Millisecond, Kind: Dispatched, Dev: HDD, ID: 2, Origin: block.Writeback},
+		{At: 5 * time.Millisecond, Kind: Completed, Dev: HDD, ID: 2, Origin: block.Writeback},
+	})
+	a, err := Analyze(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := a.PerOrigin[SSD][block.AppRead]
+	if r.Count != 1 {
+		t.Fatalf("count = %d", r.Count)
+	}
+	if got := r.QueueTime.MeanDuration(); got != 100*time.Microsecond {
+		t.Errorf("queue time = %v", got)
+	}
+	if got := r.ServiceLat.MeanDuration(); got != 150*time.Microsecond {
+		t.Errorf("service = %v", got)
+	}
+	wb := a.PerOrigin[HDD][block.Writeback]
+	if wb.Sectors != 16 {
+		t.Errorf("sectors = %d", wb.Sectors)
+	}
+	if a.Events != 6 {
+		t.Errorf("events = %d", a.Events)
+	}
+	if a.Span != 5*time.Millisecond {
+		t.Errorf("span = %v", a.Span)
+	}
+}
+
+func TestAnalyzeBypassedAndMerged(t *testing.T) {
+	buf := record(t, []Event{
+		{At: 0, Kind: Queued, Dev: SSD, ID: 1, Origin: block.AppWrite, Sector: 8},
+		{At: 1000, Kind: Merged, Dev: SSD, ID: 2, Origin: block.AppWrite, Sector: 8},
+		{At: 2000, Kind: Bypassed, Dev: SSD, ID: 1, Origin: block.AppWrite},
+		{At: 3000, Kind: PolicySet, Aux: 2},
+	})
+	a, err := Analyze(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := a.PerOrigin[SSD][block.AppWrite]
+	if w.Count != 1 || w.Merged != 1 || w.Bypassed != 1 {
+		t.Errorf("stats = %+v", w)
+	}
+	// A bypassed request has no dispatch pair; queue-time stats are empty.
+	if w.QueueTime.Count() != 0 {
+		t.Error("bypassed request contributed a queue time")
+	}
+}
+
+func TestWriteAnalysis(t *testing.T) {
+	buf := record(t, []Event{
+		{At: 0, Kind: Queued, Dev: SSD, ID: 1, Origin: block.AppRead, Sector: 2048},
+		{At: 100 * time.Microsecond, Kind: Dispatched, Dev: SSD, ID: 1, Origin: block.AppRead},
+		{At: 300 * time.Microsecond, Kind: Completed, Dev: SSD, ID: 1, Origin: block.AppRead},
+	})
+	a, err := Analyze(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteAnalysis(&sb, a); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "ssd") || !strings.Contains(out, "R") {
+		t.Errorf("analysis table missing rows:\n%s", out)
+	}
+	if !strings.Contains(out, "100µs") || !strings.Contains(out, "200µs") {
+		t.Errorf("queue/service decomposition missing:\n%s", out)
+	}
+}
+
+// End-to-end: WindowCensus of a real engine trace should mirror the
+// monitor's arrival census (same definition, offline vs online).
+func TestWindowCensusMatchesClassifierInput(t *testing.T) {
+	// Covered end-to-end in the engine package; here just ensure windows
+	// over a synthetic interleaving stay aligned with window boundaries.
+	var events []Event
+	for i := 0; i < 10; i++ {
+		events = append(events, Event{
+			At:   time.Duration(i) * 30 * time.Millisecond,
+			Kind: Queued, Dev: SSD, ID: uint64(i), Origin: block.AppRead,
+		})
+	}
+	buf := record(t, events)
+	wins, err := WindowCensus(buf, SSD, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, w := range wins {
+		total += w.Census.Total()
+	}
+	if total != 10 {
+		t.Fatalf("windows lost events: %d of 10", total)
+	}
+}

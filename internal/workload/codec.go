@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"lbica/internal/block"
+)
+
+// Binary request-stream codec: lets a generated workload be captured once
+// and replayed against any scheme or configuration later (trace-driven
+// evaluation). The format is a magic header followed by fixed 25-byte
+// little-endian records:
+//
+//	offset size field
+//	0      8    At (ns)
+//	8      1    Op (0 read, 1 write)
+//	9      8    LBA
+//	17     8    Sectors
+const (
+	reqMagic      = "LBICAWL1"
+	reqRecordSize = 8 + 1 + 8 + 8
+)
+
+// ErrBadWorkloadMagic marks a stream that is not a recorded workload.
+var ErrBadWorkloadMagic = errors.New("workload: bad magic (not a recorded request stream)")
+
+// SaveRequests writes a request stream in the binary format.
+func SaveRequests(w io.Writer, reqs []Request) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(reqMagic); err != nil {
+		return err
+	}
+	var buf [reqRecordSize]byte
+	for _, r := range reqs {
+		binary.LittleEndian.PutUint64(buf[0:], uint64(r.At))
+		buf[8] = byte(r.Op)
+		binary.LittleEndian.PutUint64(buf[9:], uint64(r.Extent.LBA))
+		binary.LittleEndian.PutUint64(buf[17:], uint64(r.Extent.Sectors))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadRequests reads a request stream written by SaveRequests.
+func LoadRequests(r io.Reader) ([]Request, error) {
+	br := bufio.NewReader(r)
+	var m [len(reqMagic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("workload: reading magic: %w", err)
+	}
+	if string(m[:]) != reqMagic {
+		return nil, ErrBadWorkloadMagic
+	}
+	var out []Request
+	var buf [reqRecordSize]byte
+	for {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			if err == io.EOF {
+				return out, nil
+			}
+			return out, fmt.Errorf("workload: reading record: %w", err)
+		}
+		out = append(out, Request{
+			At: time.Duration(binary.LittleEndian.Uint64(buf[0:])),
+			Op: block.Op(buf[8]),
+			Extent: block.Extent{
+				LBA:     int64(binary.LittleEndian.Uint64(buf[9:])),
+				Sectors: int64(binary.LittleEndian.Uint64(buf[17:])),
+			},
+		})
+	}
+}
+
+// Drain pulls every request out of a generator (convenience for recording
+// a workload without running a simulation).
+func Drain(g Generator) []Request {
+	var out []Request
+	for {
+		r, ok := g.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, r)
+	}
+}

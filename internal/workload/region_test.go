@@ -1,0 +1,98 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/sim"
+)
+
+func splitPhase() Phase {
+	return Phase{
+		Name: "split", Duration: 500 * time.Millisecond,
+		BaseIOPS: 8000, ReadRatio: 0.5,
+		WorkingSetBlocks: 4096, ZipfExponent: 1.0,
+		WriteWorkingSetBlocks: 512, WriteBaseBlock: 1 << 20, WriteZipfExponent: 0.2,
+	}
+}
+
+func TestSplitRegionsSeparateReadsAndWrites(t *testing.T) {
+	g := NewPhaseGen("split", []Phase{splitPhase()}, sim.NewRNG(31, "w"))
+	reqs := drain(g, 100000)
+	if len(reqs) == 0 {
+		t.Fatal("no requests")
+	}
+	reads, writes := 0, 0
+	for _, r := range reqs {
+		blockNum := r.Extent.LBA / blockSectors
+		if r.Op == block.Read {
+			reads++
+			if blockNum < 0 || blockNum >= 4096 {
+				t.Fatalf("read at block %d outside the read region", blockNum)
+			}
+		} else {
+			writes++
+			if blockNum < 1<<20 || blockNum >= (1<<20)+512 {
+				t.Fatalf("write at block %d outside the write region", blockNum)
+			}
+		}
+	}
+	if reads == 0 || writes == 0 {
+		t.Fatal("one op type missing")
+	}
+}
+
+func TestSharedRegionWhenWriteRegionUnset(t *testing.T) {
+	p := splitPhase()
+	p.WriteWorkingSetBlocks = 0
+	g := NewPhaseGen("shared", []Phase{p}, sim.NewRNG(32, "w"))
+	for _, r := range drain(g, 20000) {
+		blockNum := r.Extent.LBA / blockSectors
+		if blockNum < 0 || blockNum >= 4096 {
+			t.Fatalf("%v at block %d outside the shared region", r.Op, blockNum)
+		}
+	}
+}
+
+func TestWebServerRegionsDisjoint(t *testing.T) {
+	s := Scale{Interval: 20 * time.Millisecond, Intervals: 50, RateFactor: 0.3}
+	g := WebServer(s, sim.NewRNG(33, "w"))
+	reqs := drain(g, 200000)
+	for _, r := range reqs {
+		blockNum := r.Extent.LBA / blockSectors
+		if r.Op == block.Write && blockNum < 1<<22 {
+			t.Fatalf("web write at block %d inside the content region", blockNum)
+		}
+		if r.Op == block.Read && blockNum >= 1<<22 {
+			t.Fatalf("web read at block %d inside the log region", blockNum)
+		}
+	}
+}
+
+func TestHotBlocksUseReadRegion(t *testing.T) {
+	g := NewPhaseGen("split", []Phase{splitPhase()}, sim.NewRNG(34, "w"))
+	for _, b := range g.HotBlocks(100) {
+		if b < 0 || b >= 4096 {
+			t.Fatalf("hot block %d outside the read region", b)
+		}
+	}
+}
+
+// Sequential runs must not leak across regions: a write run stays in the
+// write region even when interleaved with reads.
+func TestSequentialRunsPerRegion(t *testing.T) {
+	p := splitPhase()
+	p.Sequential = 0.9
+	g := NewPhaseGen("seq-split", []Phase{p}, sim.NewRNG(35, "w"))
+	for _, r := range drain(g, 50000) {
+		blockNum := r.Extent.LBA / blockSectors
+		inWrite := blockNum >= 1<<20
+		if r.Op == block.Write && !inWrite {
+			t.Fatal("sequential write escaped its region")
+		}
+		if r.Op == block.Read && inWrite {
+			t.Fatal("sequential read escaped its region")
+		}
+	}
+}

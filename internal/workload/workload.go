@@ -1,0 +1,355 @@
+// Package workload generates the application I/O streams of the paper's
+// evaluation: TPC-C, a mail server and a web server, all with burst
+// behavior, plus the synthetic primitives (random/sequential read/write,
+// mixed) used by unit tests and ablations.
+//
+// The physical evaluation replays real applications; here each workload is
+// a schedule of phases, each phase an ON/OFF modulated Poisson arrival
+// process over a Zipf-skewed working set with a tunable read ratio and
+// sequentiality. Phase timelines are expressed in monitor intervals so the
+// published decision timeline (e.g. mail server: mixed-RW burst at interval
+// 23, random-read burst at 128, write burst at 134) can be laid out
+// directly.
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/sim"
+)
+
+// Request is one application-level I/O.
+type Request struct {
+	At     time.Duration
+	Op     block.Op
+	Extent block.Extent
+}
+
+// Generator produces a time-ordered request stream.
+type Generator interface {
+	// Name identifies the workload.
+	Name() string
+	// Next returns the next request; ok=false ends the stream.
+	Next() (r Request, ok bool)
+}
+
+// Phase is one segment of a workload schedule.
+type Phase struct {
+	// Name labels the phase in traces and logs.
+	Name string
+	// Duration of the phase in virtual time.
+	Duration time.Duration
+	// BaseIOPS is the arrival rate outside bursts.
+	BaseIOPS float64
+	// BurstIOPS, when > 0, turns on ON/OFF modulation: ON periods arrive
+	// at BurstIOPS, OFF periods at BaseIOPS.
+	BurstIOPS float64
+	// BurstOn/BurstOff are the mean ON and OFF period lengths
+	// (exponentially distributed).
+	BurstOn, BurstOff time.Duration
+	// ReadRatio is the fraction of reads in [0,1].
+	ReadRatio float64
+	// Sequential is the probability a request continues the current
+	// sequential run instead of jumping.
+	Sequential float64
+	// WorkingSetBlocks is the number of distinct 4 KiB-block-sized slots
+	// addressed; BaseBlock offsets the set in the address space.
+	WorkingSetBlocks int64
+	BaseBlock        int64
+	// ZipfExponent skews references toward hot blocks (0 = uniform).
+	ZipfExponent float64
+	// SizesSectors are the request sizes drawn uniformly (default {8}).
+	SizesSectors []int64
+
+	// Optional separate write region. When WriteWorkingSetBlocks > 0,
+	// writes address their own region (WriteBaseBlock, WriteZipfExponent)
+	// instead of the shared one — a web server writing logs while serving
+	// content, for instance. Reads never touch the write region, so an RO
+	// cache's write-path invalidations cost no read hits.
+	WriteWorkingSetBlocks int64
+	WriteBaseBlock        int64
+	WriteZipfExponent     float64
+}
+
+// writeRegion reports whether writes use a separate address region.
+func (p *Phase) writeRegion() bool { return p.WriteWorkingSetBlocks > 0 }
+
+// blockSectors is the addressing granularity phases are defined in (4 KiB).
+const blockSectors = 8
+
+// scramblePrime spreads Zipf ranks across the working set so hot blocks are
+// not physically clustered.
+const scramblePrime = 920419823
+
+// PhaseGen is a phase-scheduled generator.
+type PhaseGen struct {
+	name   string
+	phases []Phase
+	g      *sim.RNG
+
+	cursor   time.Duration
+	phaseIdx int
+	phaseTop time.Duration
+
+	zipf     *sim.Zipfian
+	zipfIdx  int
+	wzipf    *sim.Zipfian
+	wzipfIdx int
+	burstOn  bool
+	burstTop time.Duration
+	seqNext  int64
+	seqRun   bool
+	wseqNext int64
+	wseqRun  bool
+}
+
+// NewPhaseGen builds a generator from a schedule. Phases with zero
+// duration are skipped.
+func NewPhaseGen(name string, phases []Phase, g *sim.RNG) *PhaseGen {
+	pg := &PhaseGen{name: name, phases: phases, g: g, phaseIdx: -1, zipfIdx: -1, wzipfIdx: -1}
+	pg.advancePhase()
+	return pg
+}
+
+// Name implements Generator.
+func (p *PhaseGen) Name() string { return p.name }
+
+// Phase returns the currently active phase, or nil when exhausted.
+func (p *PhaseGen) Phase() *Phase {
+	if p.phaseIdx < 0 || p.phaseIdx >= len(p.phases) {
+		return nil
+	}
+	return &p.phases[p.phaseIdx]
+}
+
+func (p *PhaseGen) advancePhase() {
+	for {
+		p.phaseIdx++
+		if p.phaseIdx >= len(p.phases) {
+			return
+		}
+		ph := &p.phases[p.phaseIdx]
+		if ph.Duration <= 0 {
+			continue
+		}
+		p.phaseTop += ph.Duration
+		p.burstOn = false
+		p.burstTop = p.cursor
+		p.seqRun = false
+		return
+	}
+}
+
+// zipfFor lazily builds the rank distribution for the current phase.
+func (p *PhaseGen) zipfFor(ph *Phase) *sim.Zipfian {
+	if p.zipfIdx != p.phaseIdx {
+		p.zipf = sim.NewZipf(p.g, int(ph.WorkingSetBlocks), zipfExp(ph.ZipfExponent))
+		p.zipfIdx = p.phaseIdx
+	}
+	return p.zipf
+}
+
+// wzipfFor lazily builds the write-region rank distribution.
+func (p *PhaseGen) wzipfFor(ph *Phase) *sim.Zipfian {
+	if p.wzipfIdx != p.phaseIdx {
+		p.wzipf = sim.NewZipf(p.g, int(ph.WriteWorkingSetBlocks), zipfExp(ph.WriteZipfExponent))
+		p.wzipfIdx = p.phaseIdx
+	}
+	return p.wzipf
+}
+
+func zipfExp(e float64) float64 {
+	if e <= 0 {
+		return 0.0001 // near-uniform
+	}
+	return e
+}
+
+// rankToBlock scrambles a Zipf rank into a block inside a working set.
+func rankToBlock(base, ws int64, rank int) int64 {
+	idx := (int64(rank) * scramblePrime) % ws
+	if idx < 0 {
+		idx += ws
+	}
+	return base + idx
+}
+
+// HotBlocks returns the n hottest block numbers of the first phase — the
+// set the engine prewarms, honoring the paper's "past its warm-up
+// interval" assumption.
+func (p *PhaseGen) HotBlocks(n int) []int64 {
+	if len(p.phases) == 0 {
+		return nil
+	}
+	ph := &p.phases[0]
+	if int64(n) > ph.WorkingSetBlocks {
+		n = int(ph.WorkingSetBlocks)
+	}
+	out := make([]int64, n)
+	for r := 0; r < n; r++ {
+		out[r] = rankToBlock(ph.BaseBlock, ph.WorkingSetBlocks, r)
+	}
+	return out
+}
+
+// rate returns the arrival rate in effect at the cursor, advancing the
+// ON/OFF state machine as needed.
+func (p *PhaseGen) rate(ph *Phase) float64 {
+	if ph.BurstIOPS <= 0 || ph.BurstOn <= 0 {
+		return ph.BaseIOPS
+	}
+	for p.cursor >= p.burstTop {
+		p.burstOn = !p.burstOn
+		var mean time.Duration
+		if p.burstOn {
+			mean = ph.BurstOn
+		} else {
+			mean = ph.BurstOff
+		}
+		p.burstTop += sim.Exponential{M: mean, G: p.g}.Sample() + 1
+	}
+	if p.burstOn {
+		return ph.BurstIOPS
+	}
+	return ph.BaseIOPS
+}
+
+// Next implements Generator.
+func (p *PhaseGen) Next() (Request, bool) {
+	for {
+		ph := p.Phase()
+		if ph == nil {
+			return Request{}, false
+		}
+		rate := p.rate(ph)
+		if rate <= 0 {
+			// Idle phase: jump to its end.
+			p.cursor = p.phaseTop
+			p.advancePhase()
+			continue
+		}
+		gap := sim.Exponential{M: time.Duration(float64(time.Second) / rate), G: p.g}.Sample() + 1
+		p.cursor += gap
+		if p.cursor >= p.phaseTop {
+			p.advancePhase()
+			continue
+		}
+
+		op := block.Write
+		if p.g.Float64() < ph.ReadRatio {
+			op = block.Read
+		}
+
+		size := int64(blockSectors)
+		if len(ph.SizesSectors) > 0 {
+			size = ph.SizesSectors[p.g.Intn(len(ph.SizesSectors))]
+		}
+		sizeBlocks := (size + blockSectors - 1) / blockSectors
+
+		// Pick the address region: writes may own a separate one.
+		base, ws := ph.BaseBlock, ph.WorkingSetBlocks
+		zipfGen := p.zipfFor(ph)
+		seqNext, seqRun := &p.seqNext, &p.seqRun
+		if op == block.Write && ph.writeRegion() {
+			base, ws = ph.WriteBaseBlock, ph.WriteWorkingSetBlocks
+			zipfGen = p.wzipfFor(ph)
+			seqNext, seqRun = &p.wseqNext, &p.wseqRun
+		}
+
+		var startBlock int64
+		if *seqRun && ph.Sequential > 0 && p.g.Float64() < ph.Sequential {
+			startBlock = *seqNext
+			if startBlock+sizeBlocks >= base+ws {
+				startBlock = base
+			}
+		} else {
+			startBlock = rankToBlock(base, ws, zipfGen.Next())
+			if startBlock+sizeBlocks > base+ws {
+				startBlock = base + ws - sizeBlocks
+			}
+		}
+		*seqNext = startBlock + sizeBlocks
+		*seqRun = true
+
+		return Request{
+			At:     p.cursor,
+			Op:     op,
+			Extent: block.Extent{LBA: startBlock * blockSectors, Sectors: size},
+		}, true
+	}
+}
+
+// Replay plays back a recorded request stream.
+type Replay struct {
+	name string
+	reqs []Request
+	pos  int
+}
+
+// NewReplay builds a replay generator over reqs (assumed time-ordered).
+func NewReplay(name string, reqs []Request) *Replay {
+	return &Replay{name: name, reqs: reqs}
+}
+
+// Name implements Generator.
+func (r *Replay) Name() string { return r.name }
+
+// Next implements Generator.
+func (r *Replay) Next() (Request, bool) {
+	if r.pos >= len(r.reqs) {
+		return Request{}, false
+	}
+	req := r.reqs[r.pos]
+	r.pos++
+	return req, true
+}
+
+// Tee wraps a generator, appending every emitted request to sink.
+type Tee struct {
+	inner Generator
+	sink  *[]Request
+}
+
+// NewTee wraps inner so the emitted stream is captured into sink.
+func NewTee(inner Generator, sink *[]Request) *Tee {
+	return &Tee{inner: inner, sink: sink}
+}
+
+// Name implements Generator.
+func (t *Tee) Name() string { return t.inner.Name() }
+
+// Next implements Generator.
+func (t *Tee) Next() (Request, bool) {
+	r, ok := t.inner.Next()
+	if ok {
+		*t.sink = append(*t.sink, r)
+	}
+	return r, ok
+}
+
+// Limit truncates a generator after n requests.
+type Limit struct {
+	inner Generator
+	left  int
+}
+
+// NewLimit wraps inner, ending the stream after n requests.
+func NewLimit(inner Generator, n int) *Limit { return &Limit{inner: inner, left: n} }
+
+// Name implements Generator.
+func (l *Limit) Name() string { return l.inner.Name() }
+
+// Next implements Generator.
+func (l *Limit) Next() (Request, bool) {
+	if l.left <= 0 {
+		return Request{}, false
+	}
+	l.left--
+	return l.inner.Next()
+}
+
+func (p *PhaseGen) String() string {
+	return fmt.Sprintf("workload(%s, %d phases)", p.name, len(p.phases))
+}

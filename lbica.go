@@ -1,0 +1,484 @@
+// Package lbica is a simulation-backed reproduction of "LBICA: A Load
+// Balancer for I/O Cache Architectures" (Ahmadian, Salkhordeh, Asadi —
+// DATE 2019).
+//
+// The library simulates an enterprise storage stack — an SSD I/O cache
+// (EnhanceIO-style, set-associative, switchable write policies) in front of
+// a disk subsystem — under burst-heavy workloads, and implements three
+// load-management schemes on top of it:
+//
+//   - WB: the plain write-back cache baseline (no load balancing),
+//   - SIB: Selective I/O Bypass (Kim et al., IEEE TC 2018), the prior
+//     state of the art the paper compares against,
+//   - LBICA: the paper's contribution — burst detection via queue-time
+//     comparison, workload characterization from the R/W/P/E mix of the
+//     SSD queue, and adaptive write-policy assignment.
+//
+// Run executes one workload under one scheme on a virtual clock (no real
+// I/O, deterministic for a fixed seed) and returns per-interval statistics
+// mirroring the paper's figures. The cmd/lbicabench tool and the
+// benchmarks in this module regenerate every figure of the paper's
+// evaluation.
+//
+// Quick start:
+//
+//	report, err := lbica.Run(lbica.Options{Workload: "tpcc", Scheme: "lbica"})
+//	if err != nil { ... }
+//	fmt.Println(report.Summary.AvgLatency)
+package lbica
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"lbica/internal/cache"
+	"lbica/internal/core"
+	"lbica/internal/engine"
+	"lbica/internal/experiments"
+	"lbica/internal/ioqueue"
+	"lbica/internal/sib"
+	"lbica/internal/sim"
+	"lbica/internal/trace"
+	"lbica/internal/workload"
+)
+
+// Schemes accepted by Options.Scheme. The first three are the paper's
+// comparison; the rest pin a static cache write policy with no balancer,
+// which the policy-comparison example uses.
+const (
+	SchemeWB    = "wb"
+	SchemeSIB   = "sib"
+	SchemeLBICA = "lbica"
+
+	SchemeStaticWT   = "wt"
+	SchemeStaticRO   = "ro"
+	SchemeStaticWO   = "wo"
+	SchemeStaticWTWO = "wtwo"
+)
+
+// Workloads accepted by Options.Workload.
+const (
+	WorkloadTPCC        = "tpcc"
+	WorkloadMail        = "mail"
+	WorkloadWeb         = "web"
+	WorkloadRandomRead  = "random-read"
+	WorkloadRandomWrite = "random-write"
+	WorkloadSeqRead     = "seq-read"
+	WorkloadSeqWrite    = "seq-write"
+	WorkloadMixed       = "mixed"
+)
+
+// Phase describes one segment of a custom workload: an ON/OFF-modulated
+// Poisson arrival process over a Zipf-skewed working set. It mirrors the
+// paper's burst model; see Options.Phases.
+type Phase struct {
+	// Name labels the phase.
+	Name string
+	// Duration of the phase in virtual time.
+	Duration time.Duration
+	// BaseIOPS is the arrival rate outside bursts; BurstIOPS (when > 0)
+	// is the rate inside ON periods of mean length BurstOn separated by
+	// OFF periods of mean length BurstOff.
+	BaseIOPS, BurstIOPS float64
+	BurstOn, BurstOff   time.Duration
+	// ReadRatio is the fraction of reads in [0,1].
+	ReadRatio float64
+	// Sequential is the probability a request continues the current run.
+	Sequential float64
+	// WorkingSetBlocks is the addressed set size in 4 KiB blocks,
+	// starting at BaseBlock; ZipfExponent skews references (0 = uniform).
+	WorkingSetBlocks int64
+	BaseBlock        int64
+	ZipfExponent     float64
+	// SizesSectors are request sizes drawn uniformly (default 4 KiB).
+	SizesSectors []int64
+	// Optional separate write region (reads never touch it).
+	WriteWorkingSetBlocks int64
+	WriteBaseBlock        int64
+	WriteZipfExponent     float64
+}
+
+// Options configures a simulation run. The zero value of every field has a
+// sensible default; Workload and Scheme default to "tpcc" under "lbica".
+type Options struct {
+	// Workload picks a named workload, or use Phases for a custom one.
+	Workload string
+	// Scheme picks the load-management scheme (or a static policy).
+	Scheme string
+	// Seed fixes all randomness; runs with equal seeds are bit-identical.
+	Seed int64
+	// Intervals is the number of monitor intervals to run (default: the
+	// paper's length for the named workload, 200 otherwise).
+	Intervals int
+	// IntervalLength is the monitor sampling interval (default 200 ms of
+	// virtual time).
+	IntervalLength time.Duration
+	// RateFactor scales the workload's IOPS (default 1).
+	RateFactor float64
+	// Phases, when non-empty, defines a custom workload (Name labels it).
+	Phases []Phase
+	// Name labels a custom workload (default "custom").
+	Name string
+	// TraceWriter, when non-nil, receives the full binary block-layer
+	// trace (decode with cmd/traceinspect).
+	TraceWriter io.Writer
+
+	// RecordTo, when non-nil, captures the application request stream so
+	// it can be replayed later against a different scheme or
+	// configuration (trace-driven evaluation).
+	RecordTo io.Writer
+	// ReplayFrom, when non-nil, replays a stream captured with RecordTo
+	// instead of generating a workload. Intervals must still be set high
+	// enough to cover the recording.
+	ReplayFrom io.Reader
+
+	// CacheMiB sizes the SSD cache (default 256 MiB); CacheWays sets the
+	// associativity (default 8).
+	CacheMiB  int
+	CacheWays int
+	// Replacement selects the cache's in-set victim policy: "lru"
+	// (default), "fifo" or "rand" — EnhanceIO's three options.
+	Replacement string
+	// DiskElevator dispatches the disk queue in LOOK (elevator) order and
+	// switches the disk model to distance-proportional seeks — a more
+	// detailed rotational model than the calibrated default.
+	DiskElevator bool
+	// DisablePrewarm starts the cache cold instead of preloading the
+	// workload's hottest blocks.
+	DisablePrewarm bool
+}
+
+// PolicyEvent is one write-policy decision in the run's timeline.
+type PolicyEvent struct {
+	Interval int
+	Policy   string
+	Group    string
+}
+
+// Interval is one monitor interval's statistics — one x-axis point of the
+// paper's Figs. 4–6.
+type Interval struct {
+	Index int
+	// CacheLoadMicros/DiskLoadMicros are the per-interval maximum queue
+	// times of Eq. 1, in microseconds (the figures' y-axis).
+	CacheLoadMicros float64
+	DiskLoadMicros  float64
+	// Burst reports whether the detector flagged the cache as the
+	// bottleneck.
+	Burst bool
+	// ReadPct..EvictPct is the R/W/P/E arrival mix of the SSD queue.
+	ReadPct, WritePct, PromotePct, EvictPct float64
+	// AvgLatency is the mean end-to-end application latency.
+	AvgLatency time.Duration
+	// SSDQueueMax/HDDQueueMax are the peak queue depths.
+	SSDQueueMax, HDDQueueMax int
+}
+
+// Summary aggregates a run.
+type Summary struct {
+	Requests       uint64
+	AvgLatency     time.Duration
+	P50Latency     time.Duration
+	P99Latency     time.Duration
+	MaxLatency     time.Duration
+	HitRatio       float64
+	CacheLoadMean  float64 // µs
+	DiskLoadMean   float64 // µs
+	BypassedToDisk uint64
+	SSDUtilization float64
+	HDDUtilization float64
+	PolicySwitches uint64
+	// SSDWrittenMiB is the write volume the SSD absorbed — the endurance
+	// cost of the run (lower is better for flash lifetime).
+	SSDWrittenMiB float64
+	HDDWrittenMiB float64
+}
+
+// Report is a finished run.
+type Report struct {
+	Workload  string
+	Scheme    string
+	Intervals []Interval
+	Policies  []PolicyEvent
+	Summary   Summary
+}
+
+// Run executes one simulation.
+func Run(o Options) (*Report, error) {
+	if o.Workload == "" && len(o.Phases) == 0 {
+		o.Workload = WorkloadTPCC
+	}
+	if o.Scheme == "" {
+		o.Scheme = SchemeLBICA
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.IntervalLength <= 0 {
+		o.IntervalLength = 200 * time.Millisecond
+	}
+	if o.RateFactor <= 0 {
+		o.RateFactor = 1
+	}
+	if o.Intervals <= 0 {
+		if len(o.Phases) == 0 {
+			o.Intervals = defaultIntervals(o.Workload)
+		} else {
+			o.Intervals = 200
+		}
+	}
+
+	gen, err := buildWorkload(o)
+	if err != nil {
+		return nil, err
+	}
+	var recorded []workload.Request
+	if o.RecordTo != nil {
+		gen = workload.NewTee(gen, &recorded)
+	}
+	bal, initial, err := buildScheme(o.Scheme)
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := engine.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.MonitorEvery = o.IntervalLength
+	cfg.Cache.InitialPolicy = initial
+	if o.Replacement != "" {
+		repl, err := cache.ParseReplacement(o.Replacement)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Cache.Replacement = repl
+		cfg.Cache.ReplacementSeed = o.Seed
+	}
+	if o.DiskElevator {
+		cfg.HDDDiscipline = ioqueue.LookDispatch
+		cfg.HDD.DistanceSeek = true
+	}
+	if o.CacheMiB > 0 {
+		blocks := o.CacheMiB * 1024 / 4 // 4 KiB blocks
+		ways := cfg.Cache.Ways
+		if o.CacheWays > 0 {
+			ways = o.CacheWays
+		}
+		if blocks < ways {
+			return nil, fmt.Errorf("lbica: cache of %d MiB cannot hold %d ways", o.CacheMiB, ways)
+		}
+		cfg.Cache.Ways = ways
+		cfg.Cache.Sets = blocks / ways
+	} else if o.CacheWays > 0 {
+		total := cfg.Cache.Sets * cfg.Cache.Ways
+		cfg.Cache.Ways = o.CacheWays
+		cfg.Cache.Sets = total / o.CacheWays
+	}
+	if o.DisablePrewarm {
+		cfg.PrewarmBlocks = 0
+	} else {
+		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
+	}
+
+	var bw *trace.BinaryWriter
+	if o.TraceWriter != nil {
+		bw = trace.NewBinaryWriter(o.TraceWriter)
+		cfg.Trace = bw
+	}
+
+	st := engine.New(cfg, gen, bal)
+	res := st.Run(o.Intervals)
+	if bw != nil {
+		if err := bw.Close(); err != nil {
+			return nil, fmt.Errorf("lbica: flushing trace: %w", err)
+		}
+	}
+	if o.RecordTo != nil {
+		if err := workload.SaveRequests(o.RecordTo, recorded); err != nil {
+			return nil, fmt.Errorf("lbica: saving recorded workload: %w", err)
+		}
+	}
+	return buildReport(o, res), nil
+}
+
+func defaultIntervals(wl string) int {
+	if wl == WorkloadWeb {
+		return 175
+	}
+	return 200
+}
+
+func buildWorkload(o Options) (workload.Generator, error) {
+	if o.ReplayFrom != nil {
+		reqs, err := workload.LoadRequests(o.ReplayFrom)
+		if err != nil {
+			return nil, fmt.Errorf("lbica: loading replay stream: %w", err)
+		}
+		name := o.Name
+		if name == "" {
+			name = "replay"
+		}
+		return workload.NewReplay(name, reqs), nil
+	}
+	g := sim.NewRNG(o.Seed, "workload:"+o.Workload+o.Name)
+	if len(o.Phases) > 0 {
+		name := o.Name
+		if name == "" {
+			name = "custom"
+		}
+		phases := make([]workload.Phase, len(o.Phases))
+		for i, p := range o.Phases {
+			phases[i] = workload.Phase{
+				Name:                  p.Name,
+				Duration:              p.Duration,
+				BaseIOPS:              p.BaseIOPS,
+				BurstIOPS:             p.BurstIOPS,
+				BurstOn:               p.BurstOn,
+				BurstOff:              p.BurstOff,
+				ReadRatio:             p.ReadRatio,
+				Sequential:            p.Sequential,
+				WorkingSetBlocks:      p.WorkingSetBlocks,
+				BaseBlock:             p.BaseBlock,
+				ZipfExponent:          p.ZipfExponent,
+				SizesSectors:          p.SizesSectors,
+				WriteWorkingSetBlocks: p.WriteWorkingSetBlocks,
+				WriteBaseBlock:        p.WriteBaseBlock,
+				WriteZipfExponent:     p.WriteZipfExponent,
+			}
+		}
+		return workload.NewPhaseGen(name, phases, g), nil
+	}
+
+	scale := workload.Scale{Interval: o.IntervalLength, Intervals: o.Intervals, RateFactor: o.RateFactor}
+	dur := time.Duration(o.Intervals) * o.IntervalLength
+	iops := 8000 * o.RateFactor
+	switch strings.ToLower(o.Workload) {
+	case WorkloadTPCC:
+		return workload.TPCC(scale, g), nil
+	case WorkloadMail:
+		return workload.MailServer(scale, g), nil
+	case WorkloadWeb:
+		return workload.WebServer(scale, g), nil
+	case WorkloadRandomRead:
+		return workload.RandomRead(dur, iops, 96*1024, g), nil
+	case WorkloadRandomWrite:
+		return workload.RandomWrite(dur, iops, 96*1024, g), nil
+	case WorkloadSeqRead:
+		return workload.SequentialRead(dur, iops, 1<<20, g), nil
+	case WorkloadSeqWrite:
+		return workload.SequentialWrite(dur, iops, 1<<20, g), nil
+	case WorkloadMixed:
+		return workload.MixedRW(dur, iops, 96*1024, g), nil
+	default:
+		return nil, fmt.Errorf("lbica: unknown workload %q", o.Workload)
+	}
+}
+
+func buildScheme(scheme string) (engine.Balancer, cache.Policy, error) {
+	switch strings.ToLower(scheme) {
+	case SchemeWB:
+		return nil, cache.WB, nil
+	case SchemeSIB:
+		return sib.New(sib.DefaultConfig()), cache.WTWO, nil
+	case SchemeLBICA:
+		return core.New(core.DefaultConfig()), cache.WB, nil
+	case SchemeStaticWT:
+		return nil, cache.WT, nil
+	case SchemeStaticRO:
+		return nil, cache.RO, nil
+	case SchemeStaticWO:
+		return nil, cache.WO, nil
+	case SchemeStaticWTWO:
+		return nil, cache.WTWO, nil
+	default:
+		return nil, cache.WB, fmt.Errorf("lbica: unknown scheme %q", scheme)
+	}
+}
+
+func buildReport(o Options, res *engine.Results) *Report {
+	rows := experiments.Fig6(res)
+	r := &Report{
+		Workload:  res.Workload,
+		Scheme:    res.Scheme,
+		Intervals: make([]Interval, len(rows)),
+	}
+	if res.Scheme == "WB" && o.Scheme != SchemeWB {
+		// Static-policy runs report the policy name, not "WB".
+		r.Scheme = strings.ToUpper(o.Scheme)
+	}
+	for i, row := range rows {
+		r.Intervals[i] = Interval{
+			Index:           row.Interval,
+			CacheLoadMicros: row.CacheLoad,
+			DiskLoadMicros:  row.DiskLoad,
+			Burst:           row.Burst,
+			ReadPct:         row.R,
+			WritePct:        row.W,
+			PromotePct:      row.P,
+			EvictPct:        row.E,
+			AvgLatency:      res.Samples[i].AppAwait,
+			SSDQueueMax:     res.Samples[i].SSDDepthMax,
+			HDDQueueMax:     res.Samples[i].HDDDepthMax,
+		}
+	}
+	for _, pc := range res.Timeline {
+		r.Policies = append(r.Policies, PolicyEvent{
+			Interval: pc.Interval,
+			Policy:   pc.Policy.String(),
+			Group:    pc.Group,
+		})
+	}
+	r.Summary = Summary{
+		Requests:       res.AppCompleted,
+		AvgLatency:     res.AppLatency.Mean(),
+		P50Latency:     res.AppLatency.Quantile(0.5),
+		P99Latency:     res.AppLatency.Quantile(0.99),
+		MaxLatency:     res.AppLatency.Max(),
+		HitRatio:       res.CacheStats.HitRatio(),
+		CacheLoadMean:  res.CacheLoadMean() / 1e3,
+		DiskLoadMean:   res.DiskLoadMean() / 1e3,
+		BypassedToDisk: res.BypassedToDisk,
+		SSDUtilization: res.SSDUtilization,
+		HDDUtilization: res.HDDUtilization,
+		PolicySwitches: res.CacheStats.PolicySwitches,
+		SSDWrittenMiB:  res.SSDWrittenMiB(),
+		HDDWrittenMiB:  res.HDDWrittenMiB(),
+	}
+	return r
+}
+
+// WriteCSV renders the per-interval series in the layout of the paper's
+// Fig. 6: loads, burst flag, R/W/P/E mix, and the policy in force.
+func (r *Report) WriteCSV(w io.Writer) error {
+	policyAt := make([]string, len(r.Intervals))
+	cur := "WB"
+	pi := 0
+	for i := range r.Intervals {
+		for pi < len(r.Policies) && r.Policies[pi].Interval <= i {
+			cur = r.Policies[pi].Policy
+			pi++
+		}
+		policyAt[i] = cur
+	}
+	if _, err := fmt.Fprintln(w, "interval,cache_load_us,disk_load_us,burst,r_pct,w_pct,p_pct,e_pct,avg_latency_us,policy"); err != nil {
+		return err
+	}
+	for i, iv := range r.Intervals {
+		_, err := fmt.Fprintf(w, "%d,%.1f,%.1f,%t,%.1f,%.1f,%.1f,%.1f,%.1f,%s\n",
+			iv.Index, iv.CacheLoadMicros, iv.DiskLoadMicros, iv.Burst,
+			iv.ReadPct, iv.WritePct, iv.PromotePct, iv.EvictPct,
+			float64(iv.AvgLatency)/1e3, policyAt[i])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String summarizes the run in one line.
+func (r *Report) String() string {
+	return fmt.Sprintf("%s/%s: %d reqs, avg %v, p99 %v, hit %.2f, cache load %.0fµs, disk load %.0fµs",
+		r.Workload, r.Scheme, r.Summary.Requests, r.Summary.AvgLatency, r.Summary.P99Latency,
+		r.Summary.HitRatio, r.Summary.CacheLoadMean, r.Summary.DiskLoadMean)
+}

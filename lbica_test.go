@@ -1,0 +1,241 @@
+package lbica
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// quick returns small-run options so facade tests stay fast.
+func quick(workload, scheme string) Options {
+	return Options{
+		Workload:       workload,
+		Scheme:         scheme,
+		Intervals:      12,
+		IntervalLength: 100 * time.Millisecond,
+		RateFactor:     0.5,
+	}
+}
+
+func TestRunDefaults(t *testing.T) {
+	r, err := Run(Options{Intervals: 4, IntervalLength: 50 * time.Millisecond, RateFactor: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "tpcc" || r.Scheme != "LBICA" {
+		t.Errorf("defaults = %s/%s", r.Workload, r.Scheme)
+	}
+	if len(r.Intervals) != 4 {
+		t.Errorf("intervals = %d", len(r.Intervals))
+	}
+	if r.Summary.Requests == 0 {
+		t.Error("no requests simulated")
+	}
+}
+
+func TestRunUnknownInputs(t *testing.T) {
+	if _, err := Run(Options{Workload: "nope"}); err == nil {
+		t.Error("unknown workload must error")
+	}
+	if _, err := Run(Options{Scheme: "nope"}); err == nil {
+		t.Error("unknown scheme must error")
+	}
+	if _, err := Run(Options{CacheMiB: 1, CacheWays: 10000}); err == nil {
+		t.Error("impossible cache geometry must error")
+	}
+}
+
+func TestAllSchemesRun(t *testing.T) {
+	for _, sc := range []string{SchemeWB, SchemeSIB, SchemeLBICA, SchemeStaticWT, SchemeStaticRO, SchemeStaticWO, SchemeStaticWTWO} {
+		r, err := Run(quick(WorkloadMixed, sc))
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if r.Summary.Requests == 0 {
+			t.Errorf("%s: no requests", sc)
+		}
+	}
+}
+
+func TestAllWorkloadsRun(t *testing.T) {
+	for _, wl := range []string{WorkloadTPCC, WorkloadMail, WorkloadWeb, WorkloadRandomRead,
+		WorkloadRandomWrite, WorkloadSeqRead, WorkloadSeqWrite, WorkloadMixed} {
+		r, err := Run(quick(wl, SchemeWB))
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if r.Summary.Requests == 0 {
+			t.Errorf("%s: no requests", wl)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(quick(WorkloadMail, SchemeLBICA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quick(WorkloadMail, SchemeLBICA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Summary != b.Summary {
+		t.Errorf("summaries differ:\n%+v\n%+v", a.Summary, b.Summary)
+	}
+}
+
+func TestCustomPhases(t *testing.T) {
+	r, err := Run(Options{
+		Name:   "spike",
+		Scheme: SchemeLBICA,
+		Phases: []Phase{
+			{Name: "calm", Duration: 200 * time.Millisecond, BaseIOPS: 1000, ReadRatio: 0.9, WorkingSetBlocks: 4096, ZipfExponent: 0.9},
+			{Name: "storm", Duration: 400 * time.Millisecond, BaseIOPS: 2000, BurstIOPS: 15000,
+				BurstOn: 40 * time.Millisecond, BurstOff: 60 * time.Millisecond,
+				ReadRatio: 0.9, WorkingSetBlocks: 131072, ZipfExponent: 0.7},
+		},
+		Intervals:      6,
+		IntervalLength: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != "spike" {
+		t.Errorf("workload = %q", r.Workload)
+	}
+	if r.Summary.Requests == 0 {
+		t.Error("custom workload produced nothing")
+	}
+}
+
+func TestStaticPolicySchemeNames(t *testing.T) {
+	r, err := Run(quick(WorkloadMixed, SchemeStaticRO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scheme != "RO" {
+		t.Errorf("scheme = %q, want RO", r.Scheme)
+	}
+}
+
+func TestTraceCapture(t *testing.T) {
+	var buf bytes.Buffer
+	o := quick(WorkloadMixed, SchemeWB)
+	o.TraceWriter = &buf
+	if _, err := Run(o); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("no trace bytes written")
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("LBICATR1")) {
+		t.Error("trace magic missing")
+	}
+}
+
+func TestReportCSV(t *testing.T) {
+	r, err := Run(quick(WorkloadMail, SchemeLBICA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(r.Intervals)+1 {
+		t.Fatalf("csv lines = %d, want %d", len(lines), len(r.Intervals)+1)
+	}
+	if !strings.HasPrefix(lines[0], "interval,cache_load_us") {
+		t.Errorf("header = %q", lines[0])
+	}
+}
+
+func TestCacheGeometryOptions(t *testing.T) {
+	o := quick(WorkloadRandomRead, SchemeWB)
+	o.CacheMiB = 32
+	o.CacheWays = 4
+	o.DisablePrewarm = true
+	r, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 32 MiB cold cache under a large working set must show misses.
+	if r.Summary.HitRatio > 0.9 {
+		t.Errorf("hit ratio %.2f too high for a small cold cache", r.Summary.HitRatio)
+	}
+}
+
+func TestRecordAndReplay(t *testing.T) {
+	var rec bytes.Buffer
+	o := quick(WorkloadMixed, SchemeWB)
+	o.RecordTo = &rec
+	a, err := Run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Len() == 0 {
+		t.Fatal("nothing recorded")
+	}
+	// Replay the captured stream through a different scheme: the request
+	// count must match exactly.
+	b, err := Run(Options{
+		ReplayFrom:     bytes.NewReader(rec.Bytes()),
+		Scheme:         SchemeLBICA,
+		Intervals:      12,
+		IntervalLength: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Workload != "replay" {
+		t.Errorf("workload = %q", b.Workload)
+	}
+	if b.Summary.Requests != a.Summary.Requests {
+		t.Errorf("replay served %d requests, original %d", b.Summary.Requests, a.Summary.Requests)
+	}
+}
+
+func TestReplayBadStream(t *testing.T) {
+	if _, err := Run(Options{ReplayFrom: strings.NewReader("garbage-bytes!!!")}); err == nil {
+		t.Error("bad replay stream must error")
+	}
+}
+
+func TestEnduranceAccounting(t *testing.T) {
+	// RO never writes to the SSD beyond promotes; WB buffers every write.
+	wb, err := Run(quick(WorkloadRandomWrite, SchemeWB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ro, err := Run(quick(WorkloadRandomWrite, SchemeStaticRO))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wb.Summary.SSDWrittenMiB <= 0 {
+		t.Fatal("WB run recorded no SSD writes")
+	}
+	if ro.Summary.SSDWrittenMiB >= wb.Summary.SSDWrittenMiB/2 {
+		t.Errorf("RO SSD writes %.1f MiB not well below WB %.1f MiB",
+			ro.Summary.SSDWrittenMiB, wb.Summary.SSDWrittenMiB)
+	}
+	if ro.Summary.HDDWrittenMiB <= wb.Summary.HDDWrittenMiB {
+		t.Errorf("RO disk writes %.1f MiB not above WB %.1f MiB",
+			ro.Summary.HDDWrittenMiB, wb.Summary.HDDWrittenMiB)
+	}
+}
+
+func TestSummaryQuantileOrdering(t *testing.T) {
+	r, err := Run(quick(WorkloadTPCC, SchemeWB))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Summary
+	if s.P50Latency > s.P99Latency || s.P99Latency > s.MaxLatency {
+		t.Errorf("quantiles out of order: p50=%v p99=%v max=%v", s.P50Latency, s.P99Latency, s.MaxLatency)
+	}
+	if s.AvgLatency <= 0 {
+		t.Error("avg latency missing")
+	}
+}
