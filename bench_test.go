@@ -9,6 +9,7 @@
 package lbica_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -20,18 +21,30 @@ import (
 	"lbica/internal/iostat"
 )
 
+// runSchemes executes one workload under the three schemes through the
+// runner with a single worker: ns/op stays comparable to pre-pool
+// baselines and independent of core count (BenchmarkMatrixParallel is
+// the dedicated parallel measurement).
+func runSchemes(b *testing.B, wl string) map[string]*engine.Results {
+	specs := make([]experiments.Spec, len(experiments.Schemes))
+	for i, sc := range experiments.Schemes {
+		specs[i] = experiments.Spec{Workload: wl, Scheme: sc, Seed: 1}
+	}
+	m, err := experiments.RunSpecs(context.Background(), specs, 1, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return m[wl]
+}
+
 // fig4 runs one workload under the three schemes and reports the mean
 // per-interval I/O cache load (µs) for each — one sub-figure of Fig. 4.
 func benchFig4(b *testing.B, wl string) {
 	for i := 0; i < b.N; i++ {
-		var loads [3]float64
-		for j, sc := range experiments.Schemes {
-			res := experiments.Run(experiments.Spec{Workload: wl, Scheme: sc, Seed: 1})
-			loads[j] = res.CacheLoadMean() / 1e3
+		row := runSchemes(b, wl)
+		for _, sc := range experiments.Schemes {
+			b.ReportMetric(row[sc].CacheLoadMean()/1e3, "us-cache-load/"+sc)
 		}
-		b.ReportMetric(loads[0], "us-cache-load/WB")
-		b.ReportMetric(loads[1], "us-cache-load/SIB")
-		b.ReportMetric(loads[2], "us-cache-load/LBICA")
 	}
 }
 
@@ -42,14 +55,10 @@ func BenchmarkFig4CacheLoad_Web(b *testing.B)  { benchFig4(b, experiments.Worklo
 // fig5 reports the mean disk-subsystem load per scheme — Fig. 5.
 func benchFig5(b *testing.B, wl string) {
 	for i := 0; i < b.N; i++ {
-		var loads [3]float64
-		for j, sc := range experiments.Schemes {
-			res := experiments.Run(experiments.Spec{Workload: wl, Scheme: sc, Seed: 1})
-			loads[j] = res.DiskLoadMean() / 1e3
+		row := runSchemes(b, wl)
+		for _, sc := range experiments.Schemes {
+			b.ReportMetric(row[sc].DiskLoadMean()/1e3, "us-disk-load/"+sc)
 		}
-		b.ReportMetric(loads[0], "us-disk-load/WB")
-		b.ReportMetric(loads[1], "us-disk-load/SIB")
-		b.ReportMetric(loads[2], "us-disk-load/LBICA")
 	}
 }
 
@@ -232,12 +241,30 @@ func BenchmarkAblationPeakDetector(b *testing.B) {
 // assignments deliver it as a side effect of load balancing.
 func BenchmarkEnduranceExtension(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		row := runSchemes(b, experiments.WorkloadMail)
 		for _, sc := range experiments.Schemes {
-			res := experiments.Run(experiments.Spec{Workload: experiments.WorkloadMail, Scheme: sc, Seed: 1})
-			b.ReportMetric(res.SSDWrittenMiB(), "mib-ssd-writes/"+sc)
+			b.ReportMetric(row[sc].SSDWrittenMiB(), "mib-ssd-writes/"+sc)
 		}
 	}
 }
+
+// benchMatrix measures the wall-clock of the full paper matrix at a given
+// worker-pool size — the BENCH_runner.json speedup comparison. Workers=1
+// is the serial baseline; workers=0 uses GOMAXPROCS.
+func benchMatrix(b *testing.B, workers int) {
+	for i := 0; i < b.N; i++ {
+		m, err := experiments.RunMatrixContext(context.Background(), 1, 1, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(m) != len(experiments.Workloads) {
+			b.Fatalf("matrix has %d workloads", len(m))
+		}
+	}
+}
+
+func BenchmarkMatrixSerial(b *testing.B)   { benchMatrix(b, 1) }
+func BenchmarkMatrixParallel(b *testing.B) { benchMatrix(b, 0) }
 
 // BenchmarkEngineThroughput measures raw simulation speed: virtual
 // request completions per wall second on the TPC-C stack.

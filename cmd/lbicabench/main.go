@@ -3,108 +3,137 @@
 // LBICA), Fig. 6 (LBICA's decision timeline), Fig. 7 (average latency),
 // and the headline aggregates, as CSV files plus a summary on stdout.
 //
+// The 3 workloads × 3 schemes matrix is fanned out across a bounded
+// worker pool (-workers, default GOMAXPROCS); output is byte-identical
+// for every worker count, including -workers 1. Ctrl-C cancels the
+// sweep at the next simulation event boundary.
+//
 // Usage:
 //
 //	lbicabench                 # everything into ./results/
 //	lbicabench -out /tmp/r     # choose the output directory
 //	lbicabench -fig 6          # only Fig. 6
 //	lbicabench -summary        # just the headline table on stdout
+//	lbicabench -workers 1      # serial baseline
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
 
+	"lbica/internal/cli"
 	"lbica/internal/experiments"
 )
 
-func main() {
+func main() { cli.Main("lbicabench", run) }
+
+// run is the testable body of main: flags in, CSV/summary out.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbicabench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		out     = flag.String("out", "results", "output directory for CSV files")
-		fig     = flag.Int("fig", 0, "regenerate only this figure (4, 5, 6 or 7); 0 = all")
-		summary = flag.Bool("summary", false, "print only the headline table")
-		seed    = flag.Int64("seed", 1, "random seed")
-		rate    = flag.Float64("rate", 1, "workload IOPS scale factor")
+		out       = fs.String("out", "results", "output directory for CSV files")
+		fig       = fs.Int("fig", 0, "regenerate only this figure (4, 5, 6 or 7); 0 = all")
+		summary   = fs.Bool("summary", false, "print only the headline table")
+		seed      = fs.Int64("seed", 1, "random seed")
+		rate      = fs.Float64("rate", 1, "workload IOPS scale factor")
+		workers   = fs.Int("workers", 0, "worker pool size for the matrix (0 = GOMAXPROCS, 1 = serial)")
+		intervals = fs.Int("intervals", 0, "override the per-run interval count (0 = paper scale)")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running the 3 workloads × 3 schemes matrix...\n")
-	m := experiments.RunMatrix(*seed, *rate)
-	fmt.Fprintf(os.Stderr, "matrix done in %v\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(stderr, "running the 3 workloads × 3 schemes matrix...\n")
+	specs := experiments.MatrixSpecs(*seed, *rate)
+	for i := range specs {
+		specs[i].Intervals = *intervals
+	}
+	m, err := experiments.RunSpecs(ctx, specs, *workers, func(done, total int) {
+		fmt.Fprintf(stderr, "  %d/%d runs done (%v)\n", done, total, time.Since(start).Round(time.Millisecond))
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "matrix done in %v\n", time.Since(start).Round(time.Millisecond))
 
 	if *summary {
-		if err := experiments.WriteHeadlines(os.Stdout, experiments.ComputeHeadlines(m)); err != nil {
-			fail(err)
-		}
-		return
+		return experiments.WriteHeadlines(stdout, experiments.ComputeHeadlines(m))
 	}
 
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fail(err)
+		return err
 	}
 
-	emit := func(name string, write func(f *os.File) error) {
+	emit := func(name string, write func(f *os.File) error) error {
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
-			fail(err)
+			return err
 		}
 		if err := write(f); err != nil {
-			fail(err)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return err
 		}
-		fmt.Println("wrote", path)
+		fmt.Fprintln(stdout, "wrote", path)
+		return nil
 	}
 
 	want := func(n int) bool { return *fig == 0 || *fig == n }
 
 	for _, wl := range experiments.Workloads {
-		wl := wl
 		if want(4) {
-			emit(fmt.Sprintf("fig4_%s_cache_load.csv", wl), func(f *os.File) error {
+			if err := emit(fmt.Sprintf("fig4_%s_cache_load.csv", wl), func(f *os.File) error {
 				return experiments.Fig4(m, wl).WriteCSV(f)
-			})
+			}); err != nil {
+				return err
+			}
 		}
 		if want(5) {
-			emit(fmt.Sprintf("fig5_%s_disk_load.csv", wl), func(f *os.File) error {
+			if err := emit(fmt.Sprintf("fig5_%s_disk_load.csv", wl), func(f *os.File) error {
 				return experiments.Fig5(m, wl).WriteCSV(f)
-			})
+			}); err != nil {
+				return err
+			}
 		}
 		if want(6) {
-			emit(fmt.Sprintf("fig6_%s_lbica_timeline.csv", wl), func(f *os.File) error {
+			if err := emit(fmt.Sprintf("fig6_%s_lbica_timeline.csv", wl), func(f *os.File) error {
 				return experiments.WriteFig6CSV(f, experiments.Fig6(m[wl][experiments.SchemeLBICA]))
-			})
-		}
-	}
-	if want(7) {
-		emit("fig7_avg_latency.csv", func(f *os.File) error {
-			return experiments.WriteFig7CSV(f, experiments.Fig7(m))
-		})
-	}
-
-	if *fig == 0 {
-		fmt.Println("\nheadline aggregates (LBICA improvement, positive = better):")
-		if err := experiments.WriteHeadlines(os.Stdout, experiments.ComputeHeadlines(m)); err != nil {
-			fail(err)
-		}
-		fmt.Println("\nLBICA decision timelines:")
-		for _, wl := range experiments.Workloads {
-			res := m[wl][experiments.SchemeLBICA]
-			fmt.Printf("  %s:\n", wl)
-			for _, pc := range res.Timeline {
-				fmt.Printf("    interval %3d: %-4s (%s)\n", pc.Interval, pc.Policy, pc.Group)
+			}); err != nil {
+				return err
 			}
 		}
 	}
-}
+	if want(7) {
+		if err := emit("fig7_avg_latency.csv", func(f *os.File) error {
+			return experiments.WriteFig7CSV(f, experiments.Fig7(m))
+		}); err != nil {
+			return err
+		}
+	}
 
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "lbicabench:", err)
-	os.Exit(1)
+	if *fig == 0 {
+		fmt.Fprintln(stdout, "\nheadline aggregates (LBICA improvement, positive = better):")
+		if err := experiments.WriteHeadlines(stdout, experiments.ComputeHeadlines(m)); err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "\nLBICA decision timelines:")
+		for _, wl := range experiments.Workloads {
+			res := m[wl][experiments.SchemeLBICA]
+			fmt.Fprintf(stdout, "  %s:\n", wl)
+			for _, pc := range res.Timeline {
+				fmt.Fprintf(stdout, "    interval %3d: %-4s (%s)\n", pc.Interval, pc.Policy, pc.Group)
+			}
+		}
+	}
+	return nil
 }

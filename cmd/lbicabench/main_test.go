@@ -1,0 +1,77 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke: a reduced-scale sweep must emit every figure CSV with content
+// plus the headline table.
+func TestRunEmitsFigures(t *testing.T) {
+	dir := t.TempDir()
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-out", dir, "-intervals", "10", "-workers", "2"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, name := range []string{
+		"fig4_tpcc_cache_load.csv", "fig4_mail_cache_load.csv", "fig4_web_cache_load.csv",
+		"fig5_tpcc_disk_load.csv", "fig6_mail_lbica_timeline.csv", "fig7_avg_latency.csv",
+	} {
+		b, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s not written: %v", name, err)
+		}
+		if lines := strings.Count(string(b), "\n"); lines < 2 {
+			t.Errorf("%s has %d lines — header only?", name, lines)
+		}
+	}
+	if !strings.Contains(out.String(), "headline aggregates") {
+		t.Errorf("stdout missing headline table:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "9/9 runs done") {
+		t.Errorf("stderr missing progress lines:\n%s", errBuf.String())
+	}
+}
+
+func TestRunSummaryOnly(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(), []string{"-summary", "-intervals", "8"}, &out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "| workload |") || !strings.Contains(got, "average") {
+		t.Errorf("headline table malformed:\n%s", got)
+	}
+	if strings.Contains(got, "wrote ") {
+		t.Error("-summary still wrote CSV files")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	var out, errBuf strings.Builder
+	if err := run(ctx, []string{"-summary", "-intervals", "5"}, &out, &errBuf); err == nil {
+		t.Error("cancelled context returned nil error")
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errBuf strings.Builder
+	// flag.ErrHelp is the success-exit sentinel cli.Main maps to code 0.
+	if err := run(t.Context(), []string{"-h"}, &out, &errBuf); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errBuf.String(), "Usage of lbicabench") {
+		t.Errorf("-h did not print usage:\n%s", errBuf.String())
+	}
+}

@@ -1,5 +1,6 @@
 // Command lbicasim runs one workload under one scheme and prints the
-// per-interval statistics, the policy timeline, and a summary.
+// per-interval statistics, the policy timeline, and a summary. Ctrl-C
+// cancels the run at the next simulation event boundary.
 //
 // Usage:
 //
@@ -9,31 +10,42 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"lbica"
+	"lbica/internal/cli"
 )
 
-func main() {
+func main() { cli.Main("lbicasim", run) }
+
+// run is the testable body of main: flags in, table/CSV out.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("lbicasim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		workloadName = flag.String("workload", "tpcc", "workload: tpcc|mail|web|random-read|random-write|seq-read|seq-write|mixed")
-		scheme       = flag.String("scheme", "lbica", "scheme: wb|sib|lbica or a static policy wt|ro|wo|wtwo")
-		seed         = flag.Int64("seed", 1, "random seed (runs with equal seeds are bit-identical)")
-		intervals    = flag.Int("intervals", 0, "monitor intervals to run (0 = paper default for the workload)")
-		interval     = flag.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
-		rate         = flag.Float64("rate", 1, "workload IOPS scale factor")
-		csv          = flag.Bool("csv", false, "emit per-interval CSV instead of the table")
-		tracePath    = flag.String("trace", "", "write the binary block-layer trace to this file")
-		recordPath   = flag.String("record", "", "record the application request stream to this file")
-		replayPath   = flag.String("replay", "", "replay a request stream recorded with -record")
-		cacheMiB     = flag.Int("cache-mib", 0, "cache size in MiB (0 = default 256)")
-		cold         = flag.Bool("cold", false, "start with a cold cache (skip prewarm)")
-		configPath   = flag.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
+		workloadName = fs.String("workload", "tpcc", "workload: tpcc|mail|web|random-read|random-write|seq-read|seq-write|mixed")
+		scheme       = fs.String("scheme", "lbica", "scheme: wb|sib|lbica or a static policy wt|ro|wo|wtwo")
+		seed         = fs.Int64("seed", 1, "random seed (runs with equal seeds are bit-identical)")
+		intervals    = fs.Int("intervals", 0, "monitor intervals to run (0 = paper default for the workload)")
+		interval     = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
+		rate         = fs.Float64("rate", 1, "workload IOPS scale factor")
+		csv          = fs.Bool("csv", false, "emit per-interval CSV instead of the table")
+		tracePath    = fs.String("trace", "", "write the binary block-layer trace to this file")
+		recordPath   = fs.String("record", "", "record the application request stream to this file")
+		replayPath   = fs.String("replay", "", "replay a request stream recorded with -record")
+		cacheMiB     = fs.Int("cache-mib", 0, "cache size in MiB (0 = default 256)")
+		cold         = fs.Bool("cold", false, "start with a cold cache (skip prewarm)")
+		configPath   = fs.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
 	)
-	flag.Parse()
+	if err := cli.Parse(fs, args); err != nil {
+		return err
+	}
 
 	opts := lbica.Options{
 		Workload:       *workloadName,
@@ -48,23 +60,30 @@ func main() {
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
+			return err
 		}
 		opts, err = lbica.LoadOptions(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
+			return err
 		}
 	}
 
+	// Best-effort close on error paths; the success path below closes
+	// explicitly so flush errors are surfaced.
 	var closers []*os.File
+	closed := false
+	defer func() {
+		if !closed {
+			for _, f := range closers {
+				f.Close()
+			}
+		}
+	}()
 	if *tracePath != "" {
 		f, err := os.Create(*tracePath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
+			return err
 		}
 		closers = append(closers, f)
 		opts.TraceWriter = f
@@ -72,8 +91,7 @@ func main() {
 	if *recordPath != "" {
 		f, err := os.Create(*recordPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
+			return err
 		}
 		closers = append(closers, f)
 		opts.RecordTo = f
@@ -81,36 +99,41 @@ func main() {
 	if *replayPath != "" {
 		f, err := os.Open(*replayPath)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
+			return err
 		}
 		closers = append(closers, f)
 		opts.ReplayFrom = f
 	}
 
-	report, err := lbica.Run(opts)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbicasim:", err)
-		os.Exit(1)
+	// A cancelled run still yields the partial report accumulated up to
+	// the cancellation — render it before surfacing the error. A report
+	// with no intervals carries no data worth presenting as "partial".
+	report, runErr := lbica.RunContext(ctx, opts)
+	if runErr != nil && (report == nil || len(report.Intervals) == 0) {
+		return runErr
 	}
 	for _, f := range closers {
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
+			if runErr == nil {
+				return err
+			}
+			// The interruption is the primary error; don't let a flush
+			// failure of an already-partial file suppress the report.
+			fmt.Fprintln(stderr, "lbicasim:", err)
 		}
+	}
+	closed = true
+	if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
+		fmt.Fprintln(stderr, "lbicasim: run interrupted — partial results follow")
 	}
 
 	if *csv {
-		if err := report.WriteCSV(os.Stdout); err != nil {
-			fmt.Fprintln(os.Stderr, "lbicasim:", err)
-			os.Exit(1)
-		}
-		return
+		return errors.Join(runErr, report.WriteCSV(stdout))
 	}
 
-	fmt.Printf("workload %s under %s (%d intervals × %v)\n\n",
-		report.Workload, report.Scheme, len(report.Intervals), *interval)
-	fmt.Printf("%8s %14s %14s %6s %6s %6s %6s %6s %12s\n",
+	fmt.Fprintf(stdout, "workload %s under %s (%d intervals × %v)\n\n",
+		report.Workload, report.Scheme, len(report.Intervals), report.IntervalLength)
+	fmt.Fprintf(stdout, "%8s %14s %14s %6s %6s %6s %6s %6s %12s\n",
 		"interval", "cacheQ(us)", "diskQ(us)", "burst", "R%", "W%", "P%", "E%", "avg_lat")
 	step := len(report.Intervals) / 50
 	if step == 0 {
@@ -118,24 +141,25 @@ func main() {
 	}
 	for i := 0; i < len(report.Intervals); i += step {
 		iv := report.Intervals[i]
-		fmt.Printf("%8d %14.1f %14.1f %6v %6.1f %6.1f %6.1f %6.1f %12v\n",
+		fmt.Fprintf(stdout, "%8d %14.1f %14.1f %6v %6.1f %6.1f %6.1f %6.1f %12v\n",
 			iv.Index, iv.CacheLoadMicros, iv.DiskLoadMicros, iv.Burst,
 			iv.ReadPct, iv.WritePct, iv.PromotePct, iv.EvictPct, iv.AvgLatency.Round(time.Microsecond))
 	}
 
 	if len(report.Policies) > 0 {
-		fmt.Println("\npolicy timeline:")
+		fmt.Fprintln(stdout, "\npolicy timeline:")
 		for _, p := range report.Policies {
-			fmt.Printf("  interval %3d: %-4s (%s)\n", p.Interval, p.Policy, p.Group)
+			fmt.Fprintf(stdout, "  interval %3d: %-4s (%s)\n", p.Interval, p.Policy, p.Group)
 		}
 	}
 
 	s := report.Summary
-	fmt.Printf("\nsummary: %d requests, hit ratio %.3f\n", s.Requests, s.HitRatio)
-	fmt.Printf("  latency: avg %v  p50 %v  p99 %v  max %v\n",
+	fmt.Fprintf(stdout, "\nsummary: %d requests, hit ratio %.3f\n", s.Requests, s.HitRatio)
+	fmt.Fprintf(stdout, "  latency: avg %v  p50 %v  p99 %v  max %v\n",
 		s.AvgLatency.Round(time.Microsecond), s.P50Latency.Round(time.Microsecond),
 		s.P99Latency.Round(time.Microsecond), s.MaxLatency.Round(time.Microsecond))
-	fmt.Printf("  load: cache %.0fµs  disk %.0fµs (per-interval max-latency means)\n", s.CacheLoadMean, s.DiskLoadMean)
-	fmt.Printf("  bypassed to disk: %d, policy switches: %d\n", s.BypassedToDisk, s.PolicySwitches)
-	fmt.Printf("  utilization: ssd %.2f  disk %.2f\n", s.SSDUtilization, s.HDDUtilization)
+	fmt.Fprintf(stdout, "  load: cache %.0fµs  disk %.0fµs (per-interval max-latency means)\n", s.CacheLoadMean, s.DiskLoadMean)
+	fmt.Fprintf(stdout, "  bypassed to disk: %d, policy switches: %d\n", s.BypassedToDisk, s.PolicySwitches)
+	fmt.Fprintf(stdout, "  utilization: ssd %.2f  disk %.2f\n", s.SSDUtilization, s.HDDUtilization)
+	return runErr
 }

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Smoke: a tiny run must produce the summary table with a non-zero
+// request count.
+func TestRunTable(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workload", "tpcc", "-scheme", "lbica", "-intervals", "5", "-cold"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "workload tpcc under LBICA (5 intervals") {
+		t.Errorf("missing header, got:\n%s", got)
+	}
+	if !strings.Contains(got, "summary: ") || strings.Contains(got, "summary: 0 requests") {
+		t.Errorf("missing or empty summary, got:\n%s", got)
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workload", "mail", "-scheme", "wb", "-intervals", "4", "-cold", "-csv"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(out.String(), "\n"), "\n")
+	if lines[0] != "interval,cache_load_us,disk_load_us,burst,r_pct,w_pct,p_pct,e_pct,avg_latency_us,policy" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if len(lines) != 5 {
+		t.Errorf("csv rows = %d, want 4 intervals + header", len(lines))
+	}
+}
+
+func TestRunRecordReplay(t *testing.T) {
+	rec := filepath.Join(t.TempDir(), "run.rec")
+	var out, errBuf strings.Builder
+	if err := run(t.Context(),
+		[]string{"-workload", "web", "-scheme", "wb", "-intervals", "3", "-cold", "-record", rec},
+		&out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(t.Context(),
+		[]string{"-replay", rec, "-intervals", "3", "-cold"},
+		&out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "workload replay") {
+		t.Errorf("replay output missing, got:\n%s", out.String())
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errBuf strings.Builder
+	// flag.ErrHelp is the success-exit sentinel cli.Main maps to code 0.
+	if err := run(t.Context(), []string{"-h"}, &out, &errBuf); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errBuf.String(), "Usage of lbicasim") {
+		t.Errorf("-h did not print usage:\n%s", errBuf.String())
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-workload", "nope", "-intervals", "2"}, &out, &errBuf); err == nil {
+		t.Error("unknown workload returned nil error")
+	}
+}
+
+func TestRunCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	var out, errBuf strings.Builder
+	if err := run(ctx, []string{"-intervals", "2", "-cold"}, &out, &errBuf); err == nil {
+		t.Error("cancelled context returned nil error")
+	}
+}

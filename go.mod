@@ -1,0 +1,3 @@
+module lbica
+
+go 1.24

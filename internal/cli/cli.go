@@ -1,0 +1,58 @@
+// Package cli holds the entry-point scaffold the lbica commands share:
+// SIGINT-to-context wiring and the flag conventions (help exits 0, parse
+// errors exit 2 without being printed twice).
+package cli
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+)
+
+// ErrUsage marks a flag-parse failure the FlagSet has already reported to
+// stderr; Main exits 2 without printing it a second time.
+var ErrUsage = errors.New("usage error")
+
+// Parse applies the shared conventions to fs.Parse: -h/-help returns
+// flag.ErrHelp (usage has printed; Main exits 0), and any other parse
+// failure returns ErrUsage (the FlagSet has reported it; Main exits 2).
+func Parse(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, flag.ErrHelp):
+		return flag.ErrHelp
+	default:
+		return ErrUsage
+	}
+}
+
+// Main runs a command body with a SIGINT-cancelled context and maps its
+// error to the process exit code: nil and flag.ErrHelp exit 0, ErrUsage
+// exits 2, anything else is printed as "name: err" and exits 1.
+func Main(name string, run func(ctx context.Context, args []string, stdout, stderr io.Writer) error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	// Once the first SIGINT has cancelled ctx, restore default signal
+	// behavior so a second Ctrl-C force-quits even if the command body is
+	// stuck (e.g. blocked writing a report to a full pipe).
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+	err := run(ctx, os.Args[1:], os.Stdout, os.Stderr)
+	stop()
+	switch {
+	case err == nil, errors.Is(err, flag.ErrHelp):
+	case errors.Is(err, ErrUsage):
+		os.Exit(2)
+	default:
+		fmt.Fprintln(os.Stderr, name+":", err)
+		os.Exit(1)
+	}
+}

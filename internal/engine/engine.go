@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -215,6 +216,14 @@ type Stack struct {
 	ticks     int
 	maxTicks  int
 	periodics []periodicTask
+
+	// ctxDone, when non-nil, lets RunContext stop the run cooperatively:
+	// once it is closed no new arrivals or periodic ticks are scheduled
+	// and the event loop drains what is already in flight. The channel is
+	// polled (not ctx.Err()) because the check sits on the per-event hot
+	// path and a context shared across pool workers serializes Err()
+	// calls on one mutex.
+	ctxDone <-chan struct{}
 }
 
 type periodicTask struct {
@@ -607,14 +616,40 @@ func (st *Stack) flushTick() {
 // generator emits beyond the last interval still execute but land in no
 // sample.
 func (st *Stack) Run(intervals int) *Results {
+	return st.RunContext(context.Background(), intervals)
+}
+
+// halted reports whether the run's context has been cancelled. The event
+// chains consult it before scheduling their next link, so cancellation
+// stops the simulation at the next event boundary.
+func (st *Stack) halted() bool {
+	select {
+	case <-st.ctxDone:
+		return true
+	default:
+		return false
+	}
+}
+
+// RunContext is Run with cooperative cancellation. When ctx is cancelled
+// mid-run, the stack stops admitting new arrivals and scheduling monitor,
+// flusher and balancer ticks, drains the requests already in flight, and
+// returns the partial Results accumulated so far (fewer Samples than
+// requested). The virtual clock is unaffected by wall-clock timing of the
+// cancellation beyond which event boundary it lands on.
+func (st *Stack) RunContext(ctx context.Context, intervals int) *Results {
 	if intervals < 1 {
 		intervals = 1
 	}
 	st.maxTicks = intervals
+	st.ctxDone = ctx.Done() // nil for Background: halted() then never fires
 
 	// Arrival pump: schedule one arrival ahead.
 	var pump func()
 	pump = func() {
+		if st.halted() {
+			return
+		}
 		wr, ok := st.gen.Next()
 		if !ok {
 			return
@@ -633,6 +668,9 @@ func (st *Stack) Run(intervals int) *Results {
 	// Monitor tick chain.
 	var tick func()
 	tick = func() {
+		if st.halted() {
+			return
+		}
 		st.mon.Tick(st.eng.Now())
 		st.ticks++
 		if st.maxTicks > 0 && st.ticks >= st.maxTicks {
@@ -646,6 +684,9 @@ func (st *Stack) Run(intervals int) *Results {
 	if st.cfg.FlushEvery > 0 && st.cfg.FlushBatch > 0 {
 		var fl func()
 		fl = func() {
+			if st.halted() {
+				return
+			}
 			st.flushTick()
 			if st.maxTicks > 0 && st.ticks >= st.maxTicks {
 				return
@@ -660,6 +701,9 @@ func (st *Stack) Run(intervals int) *Results {
 		p := p
 		var run func()
 		run = func() {
+			if st.halted() {
+				return
+			}
 			p.fn()
 			if st.maxTicks > 0 && st.ticks >= st.maxTicks {
 				return

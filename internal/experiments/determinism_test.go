@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"reflect"
+	"testing"
+
+	"lbica/internal/runner"
+)
+
+// quickSpecs is the evaluation matrix at reduced scale: same 9 cells,
+// fewer intervals, so the determinism golden test (and the -short quick
+// path) stays under a second per sweep.
+func quickSpecs(seed int64) []Spec {
+	specs := MatrixSpecs(seed, 1)
+	for i := range specs {
+		specs[i].Intervals = 20
+	}
+	return specs
+}
+
+// TestMatrixParallelMatchesSerial is the determinism golden test: the
+// matrix executed across the full worker pool must be byte-identical,
+// cell by cell, to the workers == 1 serial baseline — latency histograms,
+// per-interval samples, policy timelines, endurance counters, everything.
+// It runs in -short mode too (it is the quick-path matrix check) and is
+// meaningful under -race: the parallel sweep aggregates into shared
+// slices through the runner.
+func TestMatrixParallelMatchesSerial(t *testing.T) {
+	specs := quickSpecs(7)
+	serial, err := runSpecs(t.Context(), specs, runner.Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := runSpecs(t.Context(), specs, runner.Options{Workers: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range Workloads {
+		for _, sc := range Schemes {
+			s, p := serial[wl][sc], parallel[wl][sc]
+			if s.AppCompleted == 0 {
+				t.Fatalf("%s/%s: serial run completed nothing", wl, sc)
+			}
+			if !reflect.DeepEqual(s, p) {
+				t.Errorf("%s/%s: parallel results diverge from serial baseline "+
+					"(completed %d vs %d, cache load %.1f vs %.1f, %d vs %d policy decisions)",
+					wl, sc, s.AppCompleted, p.AppCompleted,
+					s.CacheLoadMean(), p.CacheLoadMean(), len(s.Timeline), len(p.Timeline))
+			}
+		}
+	}
+
+	// The rendered figures must match byte for byte, not just value for
+	// value.
+	for _, render := range []struct {
+		name string
+		fn   func(Matrix) []byte
+	}{
+		{"fig6", func(m Matrix) []byte {
+			var b bytes.Buffer
+			for _, wl := range Workloads {
+				WriteFig6CSV(&b, Fig6(m[wl][SchemeLBICA]))
+			}
+			return b.Bytes()
+		}},
+		{"fig7", func(m Matrix) []byte {
+			var b bytes.Buffer
+			WriteFig7CSV(&b, Fig7(m))
+			return b.Bytes()
+		}},
+		{"headlines", func(m Matrix) []byte {
+			var b bytes.Buffer
+			WriteHeadlines(&b, ComputeHeadlines(m))
+			return b.Bytes()
+		}},
+	} {
+		if s, p := render.fn(serial), render.fn(parallel); !bytes.Equal(s, p) {
+			t.Errorf("%s CSV differs between serial and parallel sweeps", render.name)
+		}
+	}
+}
+
+// TestMatrixQuick is the -short stand-in for the paper-scale matrix
+// tests: a reduced sweep still has to conserve requests, sample the right
+// interval count, and keep the workload identical across schemes.
+func TestMatrixQuick(t *testing.T) {
+	specs := quickSpecs(1)
+	m, err := runSpecs(t.Context(), specs, runner.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wl := range Workloads {
+		base := m[wl][SchemeWB].AppSubmitted
+		for _, sc := range Schemes {
+			res := m[wl][sc]
+			if res.AppCompleted == 0 || res.AppCompleted != res.AppSubmitted {
+				t.Errorf("%s/%s: completed %d of %d", wl, sc, res.AppCompleted, res.AppSubmitted)
+			}
+			if len(res.Samples) != 20 {
+				t.Errorf("%s/%s: %d samples, want 20", wl, sc, len(res.Samples))
+			}
+			if res.AppSubmitted != base {
+				t.Errorf("%s/%s submitted %d, WB %d — workloads diverged", wl, sc, res.AppSubmitted, base)
+			}
+		}
+	}
+}
+
+// Two specs targeting the same (workload, scheme) cell cannot be
+// represented in a Matrix; RunSpecs must reject the batch instead of
+// silently overwriting one run with the other.
+func TestRunSpecsRejectsDuplicateCells(t *testing.T) {
+	specs := []Spec{
+		{Workload: WorkloadTPCC, Scheme: SchemeWB, Seed: 1, Intervals: 2},
+		{Workload: WorkloadTPCC, Scheme: SchemeWB, Seed: 2, Intervals: 2},
+	}
+	if _, err := RunSpecs(t.Context(), specs, 1, nil); err == nil {
+		t.Error("duplicate (workload, scheme) cells returned nil error")
+	}
+}
+
+// Cancelling the sweep mid-flight must stop the remaining cells and
+// surface the cancellation, not hang or return a full matrix.
+func TestMatrixCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	done := 0
+	_, err := runSpecs(ctx, quickSpecs(1), runner.Options{
+		Workers: 1,
+		OnDone: func(_, _, _ int) {
+			done++
+			if done == 2 {
+				cancel()
+			}
+		},
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if done >= len(Workloads)*len(Schemes) {
+		t.Errorf("cancellation did not stop the sweep: %d cells completed", done)
+	}
+}

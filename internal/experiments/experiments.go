@@ -5,16 +5,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
 	"strings"
-	"sync"
 	"time"
 
 	"lbica/internal/block"
 	"lbica/internal/core"
 	"lbica/internal/engine"
+	"lbica/internal/runner"
 	"lbica/internal/sib"
 	"lbica/internal/sim"
 	"lbica/internal/stats"
@@ -58,13 +59,15 @@ func (s Spec) Normalize() Spec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
-	if s.Intervals == 0 {
+	// <= 0, matching lbica.Options: a negative count would otherwise run
+	// the full request stream while sampling a single degenerate interval.
+	if s.Intervals <= 0 {
 		s.Intervals = PaperIntervals(s.Workload)
 	}
-	if s.Interval == 0 {
+	if s.Interval <= 0 {
 		s.Interval = 200 * time.Millisecond
 	}
-	if s.RateFactor == 0 {
+	if s.RateFactor <= 0 {
 		s.RateFactor = 1
 	}
 	return s
@@ -112,13 +115,20 @@ func NewBalancer(scheme string) engine.Balancer {
 
 // Run executes one workload × scheme simulation.
 func Run(spec Spec) *engine.Results {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cooperative cancellation: a cancelled ctx stops
+// the simulation at the next event boundary and returns the partial
+// results accumulated so far.
+func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	spec = spec.Normalize()
 	cfg := engine.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.MonitorEvery = spec.Interval
 	gen := NewGenerator(spec)
 	st := engine.New(cfg, gen, NewBalancer(spec.Scheme))
-	res := st.Run(spec.Intervals)
+	res := st.RunContext(ctx, spec.Intervals)
 	res.Workload = spec.Workload
 	return res
 }
@@ -126,28 +136,81 @@ func Run(spec Spec) *engine.Results {
 // Matrix holds the 3×3 evaluation results indexed [workload][scheme].
 type Matrix map[string]map[string]*engine.Results
 
-// RunMatrix executes the full evaluation concurrently (each run is an
-// independent simulation).
-func RunMatrix(seed int64, rateFactor float64) Matrix {
-	m := make(Matrix, len(Workloads))
-	var mu sync.Mutex
-	var wg sync.WaitGroup
+// MatrixSpecs enumerates the evaluation matrix in paper order (workload-
+// major) — the fixed job order the runner fans out over. Every cell uses
+// the same run seed: the per-component stream names inside a run already
+// isolate the cells, and a shared seed is what lets the three schemes see
+// an identical workload (the paper's controlled comparison).
+func MatrixSpecs(seed int64, rateFactor float64) []Spec {
+	specs := make([]Spec, 0, len(Workloads)*len(Schemes))
 	for _, wl := range Workloads {
-		m[wl] = make(map[string]*engine.Results, len(Schemes))
 		for _, sc := range Schemes {
-			wl, sc := wl, sc
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				res := Run(Spec{Workload: wl, Scheme: sc, Seed: seed, RateFactor: rateFactor})
-				mu.Lock()
-				m[wl][sc] = res
-				mu.Unlock()
-			}()
+			specs = append(specs, Spec{Workload: wl, Scheme: sc, Seed: seed, RateFactor: rateFactor})
 		}
 	}
-	wg.Wait()
+	return specs
+}
+
+// runSpecs fans specs out across the runner pool and assembles the matrix
+// once every cell has finished. Each job writes only its own result slot,
+// and each cell's randomness derives from its spec alone, so the matrix is
+// bit-identical for any worker count.
+func runSpecs(ctx context.Context, specs []Spec, opt runner.Options) (Matrix, error) {
+	// The matrix is keyed by (workload, scheme) only; a second run of the
+	// same cell (e.g. a seed sweep) would silently overwrite the first.
+	// Rejected before any simulation runs — seed sweeps belong in
+	// lbica.RunAll, which returns results by spec index.
+	seen := make(map[[2]string]bool, len(specs))
+	for _, spec := range specs {
+		cell := [2]string{spec.Workload, spec.Scheme}
+		if seen[cell] {
+			return nil, fmt.Errorf("experiments: duplicate cell %s/%s in spec batch", spec.Workload, spec.Scheme)
+		}
+		seen[cell] = true
+	}
+	cells, err := runner.Map(ctx, len(specs), opt,
+		func(ctx context.Context, i int) (*engine.Results, error) {
+			return RunContext(ctx, specs[i]), ctx.Err()
+		})
+	if err != nil {
+		return nil, err
+	}
+	m := make(Matrix, len(Workloads))
+	for i, spec := range specs {
+		if m[spec.Workload] == nil {
+			m[spec.Workload] = make(map[string]*engine.Results, len(Schemes))
+		}
+		m[spec.Workload][spec.Scheme] = cells[i]
+	}
+	return m, nil
+}
+
+// RunSpecs executes an explicit batch of specs through the runner pool
+// (workers ≤ 0 = GOMAXPROCS) and assembles the Matrix, calling onDone
+// (serialized; may be nil) after each cell. Results are bit-identical for
+// every worker count, including the workers == 1 serial baseline.
+func RunSpecs(ctx context.Context, specs []Spec, workers int, onDone func(done, total int)) (Matrix, error) {
+	opt := runner.Options{Workers: workers}
+	if onDone != nil {
+		opt.OnDone = func(_, done, total int) { onDone(done, total) }
+	}
+	return runSpecs(ctx, specs, opt)
+}
+
+// RunMatrix executes the full evaluation across GOMAXPROCS workers.
+func RunMatrix(seed int64, rateFactor float64) Matrix {
+	m, err := RunMatrixContext(context.Background(), seed, rateFactor, 0)
+	if err != nil {
+		// Only reachable via ctx cancellation, impossible with Background.
+		panic(fmt.Sprintf("experiments: matrix failed: %v", err))
+	}
 	return m
+}
+
+// RunMatrixContext executes the paper's evaluation matrix through the
+// runner pool with an explicit worker cap and cancellation.
+func RunMatrixContext(ctx context.Context, seed int64, rateFactor float64, workers int) (Matrix, error) {
+	return RunSpecs(ctx, MatrixSpecs(seed, rateFactor), workers, nil)
 }
 
 // Fig4 returns the Fig. 4 series for one workload: per-interval I/O cache

@@ -1,0 +1,190 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	got, err := Map(context.Background(), 64, Options{Workers: 8},
+		func(_ context.Context, i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("results[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapHonorsWorkerCap(t *testing.T) {
+	var cur, peak atomic.Int32
+	_, err := Map(context.Background(), 32, Options{Workers: 3},
+		func(_ context.Context, i int) (struct{}, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("observed %d concurrent jobs, cap is 3", p)
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{},
+		func(_ context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || len(got) != 0 {
+		t.Fatalf("Map(0 jobs) = %v, %v", got, err)
+	}
+}
+
+// The first error cancels the pool: jobs still queued never start, and
+// running jobs observe the cancellation through their context.
+func TestMapErrorCancelsPool(t *testing.T) {
+	boom := errors.New("boom")
+	var started atomic.Int32
+	_, err := Map(context.Background(), 1000, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 3 {
+				return 0, boom
+			}
+			select {
+			case <-ctx.Done():
+			case <-time.After(5 * time.Millisecond):
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped %v", err, boom)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("error did not stop dispatch: all 1000 jobs started")
+	}
+}
+
+func TestMapCallerCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int32
+	_, err := Map(ctx, 1000, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if started.Add(1) == 4 {
+				cancel()
+			}
+			return i, ctx.Err()
+		})
+	// Caller cancellation must surface as the plain, deterministic
+	// context error — not a scheduling-dependent "job N" wrapper.
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled exactly", err)
+	}
+	if n := started.Load(); n == 1000 {
+		t.Error("cancellation did not stop dispatch")
+	}
+}
+
+func TestMapRepanicsOnCaller(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "job 7 exploded" {
+			t.Fatalf("recovered %v, want job 7's panic", p)
+		}
+	}()
+	Map(context.Background(), 16, Options{Workers: 4},
+		func(_ context.Context, i int) (int, error) {
+			if i == 7 {
+				panic("job 7 exploded")
+			}
+			return i, nil
+		})
+	t.Fatal("Map returned instead of panicking")
+}
+
+// A panicking progress callback must not deadlock the pool: the lock is
+// released on unwind and the panic surfaces on the caller like a job
+// panic does.
+func TestMapOnDonePanicDoesNotDeadlock(t *testing.T) {
+	result := make(chan any, 1)
+	go func() {
+		defer func() { result <- recover() }()
+		Map(context.Background(), 8, Options{
+			Workers: 2,
+			OnDone:  func(index, done, total int) { panic("callback boom") },
+		}, func(_ context.Context, i int) (int, error) { return i, nil })
+		result <- nil
+	}()
+	select {
+	case p := <-result:
+		if p != "callback boom" {
+			t.Fatalf("recovered %v, want the callback's panic", p)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Map deadlocked on a panicking OnDone callback")
+	}
+}
+
+func TestMapProgressSerializedAndComplete(t *testing.T) {
+	var calls []int // appended under the pool's lock via OnDone
+	seen := make(map[int]bool)
+	_, err := Map(context.Background(), 50, Options{
+		Workers: 8,
+		OnDone: func(index, done, total int) {
+			calls = append(calls, done)
+			seen[index] = true
+			if total != 50 {
+				panic(fmt.Sprintf("total = %d", total))
+			}
+		},
+	}, func(_ context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 50 || len(seen) != 50 {
+		t.Fatalf("progress calls = %d (distinct %d), want 50", len(calls), len(seen))
+	}
+	for i, d := range calls {
+		if d != i+1 {
+			t.Fatalf("done counter out of order at call %d: %v", i, calls)
+		}
+	}
+}
+
+// Determinism contract: a jittered parallel run must produce results
+// byte-identical to the serial baseline, because each job derives its
+// output from its index alone. Run with -race this also exercises the
+// pool's aggregation for data races.
+func TestMapParallelMatchesSerial(t *testing.T) {
+	job := func(_ context.Context, i int) (string, error) {
+		time.Sleep(time.Duration(i%5) * 100 * time.Microsecond) // scramble completion order
+		return fmt.Sprintf("run-%d", i*i), nil
+	}
+	serial, err := Map(context.Background(), 40, Options{Workers: 1}, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, 0} {
+		par, err := Map(context.Background(), 40, Options{Workers: workers}, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if par[i] != serial[i] {
+				t.Fatalf("workers=%d: results[%d] = %q, serial %q", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}

@@ -23,6 +23,24 @@ func NewRNG(seed int64, name string) *RNG {
 	return &RNG{name: name, r: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
 }
 
+// Stream splits a base seed into the seed for run runIndex of a batch.
+// The result depends only on (seed, runIndex) — never on scheduling
+// order — so a parallel sweep that seeds run i with Stream(seed, i)
+// produces runs byte-identical to the same sweep executed serially.
+//
+// The split is a SplitMix64-style finalizer over both inputs, so nearby
+// (seed, runIndex) pairs land far apart: Stream(s, 0), Stream(s, 1), …
+// share no statistical structure the way s, s+1, … would.
+func Stream(seed int64, runIndex int) int64 {
+	x := uint64(seed)*0x9e3779b97f4a7c15 + uint64(runIndex) + 1
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int64(x)
+}
+
 // Name returns the stream name.
 func (g *RNG) Name() string { return g.name }
 

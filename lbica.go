@@ -25,9 +25,32 @@
 //	report, err := lbica.Run(lbica.Options{Workload: "tpcc", Scheme: "lbica"})
 //	if err != nil { ... }
 //	fmt.Println(report.Summary.AvgLatency)
+//
+// # Batch runs and the parallel runner
+//
+// RunAll executes a batch of independent simulations across a bounded
+// worker pool (GOMAXPROCS goroutines by default) with progress reporting
+// and context cancellation:
+//
+//	specs := lbica.MatrixSpecs(1) // the paper's 3 workloads × 3 schemes
+//	reports, err := lbica.RunAll(ctx, specs, lbica.RunnerOptions{
+//		OnProgress: func(done, total int) { log.Printf("%d/%d", done, total) },
+//	})
+//
+// Determinism guarantee: runs share no mutable state — every stochastic
+// component inside a run draws from its own (seed, component-name) stream,
+// and RunnerOptions.Seed splits per-run seeds with sim.Stream(seed, i),
+// a function of the spec index alone. RunAll's output is therefore
+// byte-identical to running the same specs serially, for any worker
+// count and any goroutine interleaving; reports[i] always corresponds to
+// specs[i]. RunContext is the single-run variant with cancellation: a
+// cancelled context stops the virtual clock at the next event boundary
+// and returns the partial report.
 package lbica
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -198,15 +221,27 @@ type Summary struct {
 
 // Report is a finished run.
 type Report struct {
-	Workload  string
-	Scheme    string
-	Intervals []Interval
-	Policies  []PolicyEvent
-	Summary   Summary
+	Workload string
+	Scheme   string
+	// IntervalLength is the effective monitor interval of the run (the
+	// Options value after defaulting).
+	IntervalLength time.Duration
+	Intervals      []Interval
+	Policies       []PolicyEvent
+	Summary        Summary
 }
 
 // Run executes one simulation.
 func Run(o Options) (*Report, error) {
+	return RunContext(context.Background(), o)
+}
+
+// RunContext is Run with cooperative cancellation: when ctx is cancelled
+// the simulation stops at the next event boundary, drains in-flight
+// requests, and returns the partial report accumulated so far together
+// with ctx.Err(). A cancellation arriving only after every requested
+// interval has sampled is ignored — the report is complete.
+func RunContext(ctx context.Context, o Options) (*Report, error) {
 	if o.Workload == "" && len(o.Phases) == 0 {
 		o.Workload = WorkloadTPCC
 	}
@@ -288,18 +323,30 @@ func Run(o Options) (*Report, error) {
 	}
 
 	st := engine.New(cfg, gen, bal)
-	res := st.Run(o.Intervals)
+	res := st.RunContext(ctx, o.Intervals)
+	// Flush/save failures are joined with (not replaced by) a
+	// cancellation, and the report survives them: on an interrupted run
+	// the partial results are the caller's only window into what
+	// happened before the output files went bad.
+	var flushErr, saveErr error
 	if bw != nil {
 		if err := bw.Close(); err != nil {
-			return nil, fmt.Errorf("lbica: flushing trace: %w", err)
+			flushErr = fmt.Errorf("lbica: flushing trace: %w", err)
 		}
 	}
 	if o.RecordTo != nil {
 		if err := workload.SaveRequests(o.RecordTo, recorded); err != nil {
-			return nil, fmt.Errorf("lbica: saving recorded workload: %w", err)
+			saveErr = fmt.Errorf("lbica: saving recorded workload: %w", err)
 		}
 	}
-	return buildReport(o, res), nil
+	// A cancellation that lands after the last requested interval has
+	// sampled changed nothing: the run is complete, not partial, and
+	// reporting ctx.Err() would mislabel a full result.
+	ctxErr := ctx.Err()
+	if ctxErr != nil && len(res.Samples) >= o.Intervals {
+		ctxErr = nil
+	}
+	return buildReport(o, res), errors.Join(ctxErr, flushErr, saveErr)
 }
 
 func defaultIntervals(wl string) int {
@@ -399,9 +446,10 @@ func buildScheme(scheme string) (engine.Balancer, cache.Policy, error) {
 func buildReport(o Options, res *engine.Results) *Report {
 	rows := experiments.Fig6(res)
 	r := &Report{
-		Workload:  res.Workload,
-		Scheme:    res.Scheme,
-		Intervals: make([]Interval, len(rows)),
+		Workload:       res.Workload,
+		Scheme:         res.Scheme,
+		IntervalLength: o.IntervalLength,
+		Intervals:      make([]Interval, len(rows)),
 	}
 	if res.Scheme == "WB" && o.Scheme != SchemeWB {
 		// Static-policy runs report the policy name, not "WB".

@@ -1,0 +1,120 @@
+package lbica_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lbica"
+)
+
+func quickBatch() []lbica.Options {
+	// One cell per workload (each under a different scheme), reduced
+	// intervals: cross-checking the full 9-cell matrix byte-for-byte is
+	// the experiments package's golden test; here the public API wiring
+	// is under test.
+	all := lbica.MatrixSpecs(3)
+	specs := []lbica.Options{all[0], all[4], all[8]}
+	for i := range specs {
+		specs[i].Intervals = 15
+	}
+	return specs
+}
+
+func TestRunAllMatchesSerialRun(t *testing.T) {
+	specs := quickBatch()
+	parallel, err := lbica.RunAll(t.Context(), specs, lbica.RunnerOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parallel) != len(specs) {
+		t.Fatalf("got %d reports for %d specs", len(parallel), len(specs))
+	}
+	for i, o := range specs {
+		serial, err := lbica.Run(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].Workload != o.Workload {
+			t.Fatalf("reports[%d] is %s/%s, want spec order preserved (%s)",
+				i, parallel[i].Workload, parallel[i].Scheme, o.Workload)
+		}
+		if !reflect.DeepEqual(serial, parallel[i]) {
+			t.Errorf("spec %d (%s/%s): parallel report diverges from serial Run "+
+				"(avg %v vs %v, %d vs %d requests)",
+				i, o.Workload, o.Scheme, serial.Summary.AvgLatency, parallel[i].Summary.AvgLatency,
+				serial.Summary.Requests, parallel[i].Summary.Requests)
+		}
+	}
+}
+
+// A base seed splits into per-run streams: zero-seed specs must get
+// distinct workloads, and the whole batch must reproduce bit-for-bit at
+// any worker count.
+func TestRunAllStreamSeeds(t *testing.T) {
+	specs := make([]lbica.Options, 4)
+	for i := range specs {
+		specs[i] = lbica.Options{Workload: lbica.WorkloadTPCC, Scheme: lbica.SchemeWB, Intervals: 10}
+	}
+	a, err := lbica.RunAll(t.Context(), specs, lbica.RunnerOptions{Seed: 99, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := lbica.RunAll(t.Context(), specs, lbica.RunnerOptions{Seed: 99, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same base seed, different worker counts: reports diverge")
+	}
+	distinct := false
+	for i := 1; i < len(a); i++ {
+		if a[i].Summary.Requests != a[0].Summary.Requests ||
+			a[i].Summary.AvgLatency != a[0].Summary.AvgLatency {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Error("replicated specs drew identical runs — seeds were not split per index")
+	}
+}
+
+func TestRunAllProgressAndCancel(t *testing.T) {
+	specs := quickBatch()
+	var progress []int
+	reports, err := lbica.RunAll(t.Context(), specs, lbica.RunnerOptions{
+		OnProgress: func(done, total int) {
+			progress = append(progress, done)
+			if total != len(specs) {
+				t.Errorf("total = %d, want %d", total, len(specs))
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(progress) != len(specs) || progress[len(progress)-1] != len(specs) {
+		t.Errorf("progress calls = %v, want 1..%d", progress, len(specs))
+	}
+	for i, r := range reports {
+		if r == nil || r.Summary.Requests == 0 {
+			t.Errorf("reports[%d] empty", i)
+		}
+	}
+
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	if _, err := lbica.RunAll(ctx, specs, lbica.RunnerOptions{}); err == nil {
+		t.Error("RunAll with cancelled context returned nil error")
+	}
+}
+
+func TestRunAllRejectsBadSpec(t *testing.T) {
+	specs := []lbica.Options{
+		{Workload: lbica.WorkloadTPCC, Scheme: lbica.SchemeWB, Intervals: 5},
+		{Workload: "no-such-workload", Intervals: 5},
+	}
+	if _, err := lbica.RunAll(t.Context(), specs, lbica.RunnerOptions{}); err == nil {
+		t.Error("bad spec in batch returned nil error")
+	}
+}
