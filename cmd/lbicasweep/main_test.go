@@ -1,0 +1,142 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"lbica/internal/cli"
+	"lbica/internal/sweep"
+)
+
+// sweepArgs is a minimal fast grid shared by the smoke tests.
+var sweepArgs = []string{"-workloads", "tpcc", "-schemes", "wb,lbica", "-cache-mult", "0.5,1", "-seeds", "1", "-intervals", "4", "-q"}
+
+func TestRunTextReport(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), sweepArgs, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "1 workloads × 2 schemes × 2 cache sizes × 1 rates × 1 seeds = 4 runs (4 completed)") {
+		t.Errorf("missing grid header, got:\n%s", got)
+	}
+	for _, want := range []string{"tpcc", "WB", "LBICA", "vs WB"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunCSVFormat(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), append([]string{"-format", "csv"}, sweepArgs...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	cells, err := sweep.ParseCellsCSV(strings.NewReader(out.String()))
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse back: %v\n%s", err, out.String())
+	}
+	if len(cells) != 4 {
+		t.Errorf("got %d cells, want 4", len(cells))
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), append([]string{"-format", "json"}, sweepArgs...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	var res sweep.Result
+	if err := json.Unmarshal([]byte(out.String()), &res); err != nil {
+		t.Fatalf("emitted JSON does not decode: %v", err)
+	}
+	if res.Completed != 4 || len(res.Runs) != 4 || len(res.Cells) != 4 {
+		t.Errorf("decoded result = %d completed, %d runs, %d cells; want 4 each",
+			res.Completed, len(res.Runs), len(res.Cells))
+	}
+}
+
+// TestRunOutArtifacts: -out writes the cells CSV and the full JSON, and
+// the CSV on disk parses back to the same cells as a -format csv run.
+func TestRunOutArtifacts(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "artifacts")
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), append([]string{"-out", dir}, sweepArgs...), &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(filepath.Join(dir, "sweep_cells.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	fromFile, err := sweep.ParseCellsCSV(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csvOut strings.Builder
+	if err := run(t.Context(), append([]string{"-format", "csv"}, sweepArgs...), &csvOut, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	fromStdout, err := sweep.ParseCellsCSV(strings.NewReader(csvOut.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromFile, fromStdout) {
+		t.Errorf("-out artifact diverges from -format csv output")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "sweep.json")); err != nil {
+		t.Errorf("sweep.json artifact missing: %v", err)
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-h"}, &out, &errBuf); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errBuf.String(), "Usage of lbicasweep") {
+		t.Errorf("-h did not print usage:\n%s", errBuf.String())
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-format", "xml"},
+		{"-cache-mult", "a,b"},
+		{"-rate", "1,,nope"},
+	} {
+		var out, errBuf strings.Builder
+		if err := run(t.Context(), args, &out, &errBuf); !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("%v returned %v, want cli.ErrUsage", args, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknownWorkload(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(), []string{"-workloads", "nope", "-intervals", "2", "-q"}, &out, &errBuf)
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("got %v, want unknown-workload error", err)
+	}
+}
+
+// TestRunCancelledBeforeStart: a context cancelled before any run
+// completes yields the error, not an empty report.
+func TestRunCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	cancel()
+	var out, errBuf strings.Builder
+	if err := run(ctx, sweepArgs, &out, &errBuf); !errors.Is(err, context.Canceled) {
+		t.Errorf("got %v, want context.Canceled", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("cancelled-before-start run still produced a report:\n%s", out.String())
+	}
+}

@@ -111,3 +111,32 @@ func ExampleRunAll() {
 	// tpcc under WB - served: true
 	// tpcc under LBICA - served: true
 }
+
+// A declarative parameter sweep: generalize the paper's fixed matrix
+// along cache size and seed, and read the aggregated cells. Expansion
+// order, execution, and aggregation are all deterministic, so the cell
+// layout is stable for a fixed grid.
+func ExampleSweep() {
+	res, err := lbica.Sweep(context.Background(), lbica.GridSpec{
+		Workloads:      []string{lbica.WorkloadTPCC},
+		Schemes:        []string{lbica.SchemeWB, lbica.SchemeLBICA},
+		CacheMults:     []float64{0.5, 1},
+		SeedReplicates: 2,
+		Seed:           7,
+		Intervals:      8,
+	}, lbica.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("runs:", res.Completed, "of", res.Total)
+	for _, c := range res.Cells {
+		fmt.Printf("%s/%s cache ×%g - %d replicates, served: %t\n",
+			c.Workload, c.Scheme, c.CacheMult, c.Replicates, c.QMeanUS > 0)
+	}
+	// Output:
+	// runs: 8 of 8
+	// tpcc/WB cache ×0.5 - 2 replicates, served: true
+	// tpcc/LBICA cache ×0.5 - 2 replicates, served: true
+	// tpcc/WB cache ×1 - 2 replicates, served: true
+	// tpcc/LBICA cache ×1 - 2 replicates, served: true
+}

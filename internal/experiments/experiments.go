@@ -8,6 +8,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strings"
 	"time"
@@ -52,6 +53,11 @@ type Spec struct {
 	Intervals  int
 	Interval   time.Duration
 	RateFactor float64
+	// CacheMult scales the SSD cache capacity relative to the paper's
+	// 256 MiB configuration by multiplying the set count (associativity is
+	// untouched, so Eq. 1 queue dynamics per set are preserved). Defaults
+	// to 1; the prewarm volume tracks the scaled capacity.
+	CacheMult float64
 }
 
 // Normalize fills defaulted fields in place and returns the result.
@@ -69,6 +75,9 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.RateFactor <= 0 {
 		s.RateFactor = 1
+	}
+	if s.CacheMult <= 0 {
+		s.CacheMult = 1
 	}
 	return s
 }
@@ -126,6 +135,21 @@ func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	cfg := engine.DefaultConfig()
 	cfg.Seed = spec.Seed
 	cfg.MonitorEvery = spec.Interval
+	if spec.CacheMult != 1 {
+		// Clamped in float space before the int conversion: an absurd
+		// multiplier would otherwise overflow to min-int and silently
+		// become the smallest possible cache. 1<<22 sets is a 128 GiB
+		// cache at the default geometry — past any meaningful sweep.
+		f := math.Round(float64(cfg.Cache.Sets) * spec.CacheMult)
+		if f < 1 {
+			f = 1
+		}
+		if f > 1<<22 {
+			f = 1 << 22
+		}
+		cfg.Cache.Sets = int(f)
+		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
+	}
 	gen := NewGenerator(spec)
 	st := engine.New(cfg, gen, NewBalancer(spec.Scheme))
 	res := st.RunContext(ctx, spec.Intervals)

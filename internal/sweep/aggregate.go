@@ -1,0 +1,110 @@
+package sweep
+
+// Cell is the per-cell aggregation of a sweep: one (workload, scheme,
+// cache-mult, rate) coordinate summarized across its seed replicates.
+type Cell struct {
+	Workload   string  `json:"workload"`
+	Scheme     string  `json:"scheme"`
+	CacheMult  float64 `json:"cache_mult"`
+	RateFactor float64 `json:"rate_factor"`
+	// Replicates counts the runs aggregated into this cell (fewer than
+	// Grid.Replicates on an interrupted sweep).
+	Replicates int `json:"replicates"`
+	// QMeanUS/QMinUS/QMaxUS summarize the replicates' max-queue-time
+	// metric (each run's mean per-interval maximum cache queue time, µs).
+	QMeanUS float64 `json:"q_mean_us"`
+	QMinUS  float64 `json:"q_min_us"`
+	QMaxUS  float64 `json:"q_max_us"`
+	// DiskQMeanUS is the disk-subsystem counterpart of QMeanUS.
+	DiskQMeanUS float64 `json:"disk_q_mean_us"`
+	// LatencyMeanUS is the mean end-to-end latency across replicates.
+	LatencyMeanUS float64 `json:"latency_mean_us"`
+	// HitRatioMean is the mean cache hit ratio across replicates.
+	HitRatioMean float64 `json:"hit_ratio_mean"`
+	// PolicyFlipsMean is the mean number of write-policy decisions the
+	// balancer took per run (0 for WB, which has no balancer).
+	PolicyFlipsMean float64 `json:"policy_flips_mean"`
+	// SpeedupVsWB/SpeedupVsSIB are latency speedups against the baseline
+	// cell at the same (workload, cache-mult, rate) coordinate: baseline
+	// mean latency over this cell's mean latency (>1 = this scheme is
+	// faster). Zero when the sweep has no matching baseline cell.
+	SpeedupVsWB  float64 `json:"speedup_vs_wb"`
+	SpeedupVsSIB float64 `json:"speedup_vs_sib"`
+}
+
+type cellKey struct {
+	workload   string
+	scheme     string
+	cacheMult  float64
+	rateFactor float64
+}
+
+// Aggregate groups runs by cell coordinate and summarizes each group.
+// Grouping preserves first-appearance order, so for runs in expansion
+// order the cells come out in expansion order too — the property that
+// keeps the emitted reports deterministic.
+func Aggregate(runs []Run) []Cell {
+	order := make([]cellKey, 0)
+	groups := make(map[cellKey][]Run)
+	for _, r := range runs {
+		k := cellKey{r.Workload, r.Scheme, r.CacheMult, r.RateFactor}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], r)
+	}
+	cells := make([]Cell, 0, len(order))
+	for _, k := range order {
+		cells = append(cells, summarize(k, groups[k]))
+	}
+	// Speedups need the sibling baselines, which only exist once every
+	// cell is summarized.
+	byKey := make(map[cellKey]int, len(cells))
+	for i, c := range cells {
+		byKey[cellKey{c.Workload, c.Scheme, c.CacheMult, c.RateFactor}] = i
+	}
+	for i := range cells {
+		c := &cells[i]
+		if wb, ok := byKey[cellKey{c.Workload, "WB", c.CacheMult, c.RateFactor}]; ok && c.Scheme != "WB" {
+			c.SpeedupVsWB = speedup(cells[wb].LatencyMeanUS, c.LatencyMeanUS)
+		}
+		if sib, ok := byKey[cellKey{c.Workload, "SIB", c.CacheMult, c.RateFactor}]; ok && c.Scheme != "SIB" {
+			c.SpeedupVsSIB = speedup(cells[sib].LatencyMeanUS, c.LatencyMeanUS)
+		}
+	}
+	return cells
+}
+
+func speedup(baseline, own float64) float64 {
+	if own <= 0 {
+		return 0
+	}
+	return baseline / own
+}
+
+func summarize(k cellKey, runs []Run) Cell {
+	c := Cell{
+		Workload:   k.workload,
+		Scheme:     k.scheme,
+		CacheMult:  k.cacheMult,
+		RateFactor: k.rateFactor,
+		Replicates: len(runs),
+		QMinUS:     runs[0].QMeanUS,
+		QMaxUS:     runs[0].QMeanUS,
+	}
+	n := float64(len(runs))
+	for _, r := range runs {
+		c.QMeanUS += r.QMeanUS / n
+		c.DiskQMeanUS += r.DiskQMeanUS / n
+		c.LatencyMeanUS += r.AvgLatencyUS / n
+		c.HitRatioMean += r.HitRatio / n
+		c.PolicyFlipsMean += float64(r.PolicyFlips) / n
+		if r.QMeanUS < c.QMinUS {
+			c.QMinUS = r.QMeanUS
+		}
+		if r.QMeanUS > c.QMaxUS {
+			c.QMaxUS = r.QMeanUS
+		}
+	}
+	return c
+}

@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"text/tabwriter"
+)
+
+// cellsHeader is the CSV column layout; ParseCellsCSV rejects anything
+// else, so the fuzzed round-trip property (parse(emit(x)) == x) doubles as
+// a schema lock.
+var cellsHeader = []string{
+	"workload", "scheme", "cache_mult", "rate_factor", "replicates",
+	"q_mean_us", "q_min_us", "q_max_us", "disk_q_mean_us",
+	"latency_mean_us", "hit_ratio_mean", "policy_flips_mean",
+	"speedup_vs_wb", "speedup_vs_sib",
+}
+
+// ftoa formats floats losslessly: strconv's shortest representation that
+// parses back to the identical bits, which is what lets the emitters'
+// round-trip property hold exactly instead of "within epsilon".
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// WriteCellsCSV emits the per-cell summaries. Fields are quoted by the
+// csv writer as needed, floats in shortest-round-trip form.
+func WriteCellsCSV(w io.Writer, cells []Cell) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(cellsHeader); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		rec := []string{
+			c.Workload, c.Scheme, ftoa(c.CacheMult), ftoa(c.RateFactor),
+			strconv.Itoa(c.Replicates),
+			ftoa(c.QMeanUS), ftoa(c.QMinUS), ftoa(c.QMaxUS), ftoa(c.DiskQMeanUS),
+			ftoa(c.LatencyMeanUS), ftoa(c.HitRatioMean), ftoa(c.PolicyFlipsMean),
+			ftoa(c.SpeedupVsWB), ftoa(c.SpeedupVsSIB),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseCellsCSV reads back a stream written by WriteCellsCSV.
+func ParseCellsCSV(r io.Reader) ([]Cell, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(cellsHeader)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("sweep: reading cells CSV: %w", err)
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("sweep: cells CSV is empty (missing header)")
+	}
+	for i, col := range cellsHeader {
+		if recs[0][i] != col {
+			return nil, fmt.Errorf("sweep: cells CSV header column %d = %q, want %q", i, recs[0][i], col)
+		}
+	}
+	cells := make([]Cell, 0, len(recs)-1)
+	for _, rec := range recs[1:] {
+		var c Cell
+		var err error
+		fields := []struct {
+			dst *float64
+			s   string
+		}{
+			{&c.CacheMult, rec[2]}, {&c.RateFactor, rec[3]},
+			{&c.QMeanUS, rec[5]}, {&c.QMinUS, rec[6]}, {&c.QMaxUS, rec[7]},
+			{&c.DiskQMeanUS, rec[8]}, {&c.LatencyMeanUS, rec[9]},
+			{&c.HitRatioMean, rec[10]}, {&c.PolicyFlipsMean, rec[11]},
+			{&c.SpeedupVsWB, rec[12]}, {&c.SpeedupVsSIB, rec[13]},
+		}
+		c.Workload, c.Scheme = rec[0], rec[1]
+		if c.Replicates, err = strconv.Atoi(rec[4]); err != nil {
+			return nil, fmt.Errorf("sweep: cells CSV replicates: %w", err)
+		}
+		for _, f := range fields {
+			if *f.dst, err = strconv.ParseFloat(f.s, 64); err != nil {
+				return nil, fmt.Errorf("sweep: cells CSV float field: %w", err)
+			}
+			// The emitter never writes NaN or ±Inf (simulation metrics are
+			// finite); accepting them here would let a corrupt file survive
+			// a parse-emit-parse cycle unequal to itself.
+			if math.IsNaN(*f.dst) || math.IsInf(*f.dst, 0) {
+				return nil, fmt.Errorf("sweep: cells CSV non-finite float %q", f.s)
+			}
+		}
+		cells = append(cells, c)
+	}
+	return cells, nil
+}
+
+// WriteJSON emits the whole result (grid, runs, cells) as indented JSON.
+func WriteJSON(w io.Writer, res *Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteCellsJSON emits just the per-cell summaries as indented JSON.
+func WriteCellsJSON(w io.Writer, cells []Cell) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cells)
+}
+
+// ParseCellsJSON reads back a stream written by WriteCellsJSON.
+func ParseCellsJSON(r io.Reader) ([]Cell, error) {
+	var cells []Cell
+	if err := json.NewDecoder(r).Decode(&cells); err != nil {
+		return nil, fmt.Errorf("sweep: decoding cells JSON: %w", err)
+	}
+	return cells, nil
+}
+
+// WriteReport renders the compact text report: the grid shape, a per-cell
+// table, and — when the sweep was interrupted — how much of it finished.
+func WriteReport(w io.Writer, res *Result) error {
+	g := res.Grid
+	if _, err := fmt.Fprintf(w,
+		"sweep: %d workloads × %d schemes × %d cache sizes × %d rates × %d seeds = %d runs (%d completed)\n\n",
+		len(g.Workloads), len(g.Schemes), len(g.CacheMults), len(g.RateFactors),
+		g.Replicates, res.Total, res.Completed); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "workload\tscheme\tcache×\trate×\treps\tq mean µs\tq min µs\tq max µs\tdisk q µs\tlat µs\thit\tflips\tvs WB\tvs SIB\t")
+	for _, c := range res.Cells {
+		vsWB, vsSIB := "-", "-"
+		if c.SpeedupVsWB != 0 {
+			vsWB = fmt.Sprintf("%.2f×", c.SpeedupVsWB)
+		}
+		if c.SpeedupVsSIB != 0 {
+			vsSIB = fmt.Sprintf("%.2f×", c.SpeedupVsSIB)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\t%.1f\t%s\t%s\t\n",
+			c.Workload, c.Scheme, c.CacheMult, c.RateFactor, c.Replicates,
+			c.QMeanUS, c.QMinUS, c.QMaxUS, c.DiskQMeanUS,
+			c.LatencyMeanUS, c.HitRatioMean, c.PolicyFlipsMean, vsWB, vsSIB)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	if res.Completed < res.Total {
+		if _, err := fmt.Fprintf(w, "\npartial report: %d of %d runs completed before interruption\n",
+			res.Completed, res.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}

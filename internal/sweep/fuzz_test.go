@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// cellsFromBytes deterministically decodes a fuzz input into a cell list.
+// Strings are masked to printable ASCII (the emitters' contract is Go
+// strings from the experiments package, not arbitrary bytes: JSON
+// replaces invalid UTF-8 and csv normalizes bare CRs, so unrestricted
+// bytes would fuzz the codecs' documented lossiness, not our emitters)
+// and floats to finite values (JSON cannot encode NaN/±Inf at all).
+func cellsFromBytes(data []byte) []Cell {
+	next := func(n int) []byte {
+		if len(data) < n {
+			pad := make([]byte, n)
+			copy(pad, data)
+			data = nil
+			return pad
+		}
+		b := data[:n]
+		data = data[n:]
+		return b
+	}
+	str := func() string {
+		n := int(next(1)[0]) % 12
+		raw := next(n)
+		out := make([]byte, n)
+		for i, b := range raw {
+			out[i] = 32 + b%95 // printable ASCII, commas and quotes included
+		}
+		return string(out)
+	}
+	f64 := func() float64 {
+		v := math.Float64frombits(binary.LittleEndian.Uint64(next(8)))
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0
+		}
+		return v
+	}
+	count := int(next(1)[0]) % 8
+	if count == 0 {
+		return nil
+	}
+	cells := make([]Cell, count)
+	for i := range cells {
+		cells[i] = Cell{
+			Workload:        str(),
+			Scheme:          str(),
+			CacheMult:       f64(),
+			RateFactor:      f64(),
+			Replicates:      int(binary.LittleEndian.Uint16(next(2))),
+			QMeanUS:         f64(),
+			QMinUS:          f64(),
+			QMaxUS:          f64(),
+			DiskQMeanUS:     f64(),
+			LatencyMeanUS:   f64(),
+			HitRatioMean:    f64(),
+			PolicyFlipsMean: f64(),
+			SpeedupVsWB:     f64(),
+			SpeedupVsSIB:    f64(),
+		}
+	}
+	return cells
+}
+
+func equalCells(a, b []Cell) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true // nil and empty are the same absence of cells
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+// FuzzCellsCSVRoundTrip: whatever cells a fuzz input decodes to, parsing
+// the emitted CSV must reproduce them exactly — the lossless-float and
+// quoting guarantees of the emitter, bit for bit.
+func FuzzCellsCSVRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 4, 't', 'p', 'c', 'c', 2, 'W', 'B'})
+	f.Add(bytes.Repeat([]byte{0xff}, 200))
+	f.Add([]byte("3 some bytes that decode to cells with, commas \"quotes\" and\nnewlines"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells := cellsFromBytes(data)
+		var buf bytes.Buffer
+		if err := WriteCellsCSV(&buf, cells); err != nil {
+			t.Fatalf("emit: %v (cells %+v)", err, cells)
+		}
+		back, err := ParseCellsCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("parse-back: %v\ncsv:\n%s", err, buf.String())
+		}
+		if !equalCells(cells, back) {
+			t.Fatalf("round trip diverged:\n  emitted %+v\n  parsed  %+v\ncsv:\n%s", cells, back, buf.String())
+		}
+	})
+}
+
+// FuzzCellsJSONRoundTrip is the JSON counterpart of the CSV property.
+func FuzzCellsJSONRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 3, 'w', 'e', 'b', 5, 'L', 'B', 'I', 'C', 'A'})
+	f.Add(bytes.Repeat([]byte{0x7f, 0x00, 0x42}, 100))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells := cellsFromBytes(data)
+		var buf bytes.Buffer
+		if err := WriteCellsJSON(&buf, cells); err != nil {
+			t.Fatalf("emit: %v (cells %+v)", err, cells)
+		}
+		back, err := ParseCellsJSON(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("parse-back: %v\njson:\n%s", err, buf.String())
+		}
+		if !equalCells(cells, back) {
+			t.Fatalf("round trip diverged:\n  emitted %+v\n  parsed  %+v\njson:\n%s", cells, back, buf.String())
+		}
+	})
+}
+
+// FuzzParseCellsCSV hardens the parser against arbitrary input: it may
+// reject, but must never panic, and anything it accepts must re-emit and
+// re-parse to the same cells (parse∘emit∘parse = parse).
+func FuzzParseCellsCSV(f *testing.F) {
+	f.Add([]byte("workload,scheme,cache_mult,rate_factor,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\n"))
+	f.Add([]byte("workload,scheme,cache_mult,rate_factor,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\ntpcc,WB,1,1,2,3.5,1,8,100,250.25,0.75,0,1.5,0.9\n"))
+	f.Add([]byte("not,a,cells,csv\n"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cells, err := ParseCellsCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteCellsCSV(&buf, cells); err != nil {
+			t.Fatalf("re-emit of accepted input failed: %v", err)
+		}
+		back, err := ParseCellsCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse of re-emitted input failed: %v", err)
+		}
+		if !equalCells(cells, back) {
+			t.Fatalf("parse∘emit∘parse diverged from parse:\n  first  %+v\n  second %+v", cells, back)
+		}
+	})
+}

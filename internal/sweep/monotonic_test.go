@@ -1,0 +1,57 @@
+package sweep
+
+import (
+	"testing"
+)
+
+// TestCacheSizeMonotonicity is the cross-cell sanity invariant only the
+// sweep layer can check: with every other axis fixed, growing the
+// cache-size multiplier must not worsen the WB baseline's disk-subsystem
+// mean max-queue-time beyond noise tolerance, and must not shrink its hit
+// ratio. (The cache-side queue time is deliberately not checked: a bigger
+// cache absorbs more traffic, so its own queue legitimately grows — it is
+// the disk the extra capacity must relieve.)
+func TestCacheSizeMonotonicity(t *testing.T) {
+	intervals := 25
+	if testing.Short() {
+		intervals = 12
+	}
+	g := Grid{
+		Schemes:    []string{"WB"},
+		CacheMults: []float64{0.5, 1, 2},
+		Seed:       7,
+		Intervals:  intervals,
+	}
+	res, err := Execute(t.Context(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cells arrive in expansion order: workload-major, cache-mult inner —
+	// so per workload the three multipliers are adjacent and ascending.
+	byWorkload := make(map[string][]Cell)
+	for _, c := range res.Cells {
+		byWorkload[c.Workload] = append(byWorkload[c.Workload], c)
+	}
+	for wl, cells := range byWorkload {
+		if len(cells) != len(g.CacheMults) {
+			t.Fatalf("%s: %d cells, want %d", wl, len(cells), len(g.CacheMults))
+		}
+		for i := 1; i < len(cells); i++ {
+			prev, cur := cells[i-1], cells[i]
+			if cur.CacheMult <= prev.CacheMult {
+				t.Fatalf("%s: cells not in ascending cache-mult order: %v after %v", wl, cur.CacheMult, prev.CacheMult)
+			}
+			// 10% relative + 1 µs absolute noise tolerance: the disk load
+			// falls by orders of magnitude when capacity doubles, so this
+			// flags real regressions without tripping on simulator noise.
+			if tol := prev.DiskQMeanUS*1.10 + 1; cur.DiskQMeanUS > tol {
+				t.Errorf("%s: disk max-queue-time worsened when cache grew %gx → %gx: %.1fµs → %.1fµs (tolerance %.1fµs)",
+					wl, prev.CacheMult, cur.CacheMult, prev.DiskQMeanUS, cur.DiskQMeanUS, tol)
+			}
+			if cur.HitRatioMean < prev.HitRatioMean-0.02 {
+				t.Errorf("%s: hit ratio fell when cache grew %gx → %gx: %.3f → %.3f",
+					wl, prev.CacheMult, cur.CacheMult, prev.HitRatioMean, cur.HitRatioMean)
+			}
+		}
+	}
+}

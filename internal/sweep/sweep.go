@@ -1,0 +1,319 @@
+// Package sweep is the parameter-sweep subsystem: it expands a declarative
+// Grid (workloads × schemes × cache-size multipliers × rate factors × seed
+// replicates) into experiment specs, fans them out through the bounded
+// runner pool, and aggregates the finished runs into per-cell summaries —
+// mean/min/max max-queue-time, LBICA-vs-baseline speedups, policy-flip
+// counts — with CSV, JSON and text emitters.
+//
+// The paper evaluates a fixed 3 workloads × 3 schemes matrix; the grid
+// generalizes that matrix along the axes its claims should be robust to
+// (cache size, arrival rate, seed) while preserving the controlled
+// comparison: every scheme inside a replicate shares the replicate's seed,
+// so the three schemes always see an identical workload, and each
+// replicate's seed derives from (Grid.Seed, replicate index) alone, so a
+// parallel sweep is byte-identical to a serial one.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"lbica/internal/engine"
+	"lbica/internal/experiments"
+	"lbica/internal/runner"
+	"lbica/internal/sim"
+)
+
+// Grid declares a sweep: the cross product of its axes. Empty axes fall
+// back to the paper's defaults (all 3 workloads, all 3 schemes, multiplier
+// 1, rate 1, a single replicate), so the zero Grid is exactly the paper's
+// evaluation matrix.
+type Grid struct {
+	// Workloads and Schemes name the experiment axes; case-insensitive
+	// (normalized to the experiments package's canonical names).
+	Workloads []string `json:"workloads"`
+	Schemes   []string `json:"schemes"`
+	// CacheMults scales the SSD cache capacity relative to the paper's
+	// 256 MiB (experiments.Spec.CacheMult).
+	CacheMults []float64 `json:"cache_mults"`
+	// RateFactors scales every workload's IOPS.
+	RateFactors []float64 `json:"rate_factors"`
+	// Replicates is the number of seed replicates per cell (≥1). Replicate
+	// r runs with seed sim.Stream(Seed, r): every scheme of a replicate
+	// shares that seed (the controlled comparison), and the split depends
+	// only on (Seed, r), never on scheduling.
+	Replicates int `json:"replicates"`
+	// Seed is the base seed (default 1).
+	Seed int64 `json:"seed"`
+	// Intervals overrides the per-run interval count (0 = the paper's
+	// length for each workload); Interval the monitor interval in
+	// nanoseconds of virtual time (0 = 200 ms).
+	Intervals int           `json:"intervals"`
+	Interval  time.Duration `json:"interval_ns"`
+}
+
+// Normalize fills defaulted axes in place and returns the result: empty
+// axes become the paper's evaluation axes, scheme and workload names are
+// canonicalized, Replicates is clamped to ≥1 and Seed to non-zero.
+func (g Grid) Normalize() Grid {
+	if len(g.Workloads) == 0 {
+		g.Workloads = append([]string(nil), experiments.Workloads...)
+	} else {
+		wls := make([]string, len(g.Workloads))
+		for i, wl := range g.Workloads {
+			wls[i] = strings.ToLower(strings.TrimSpace(wl))
+		}
+		g.Workloads = wls
+	}
+	if len(g.Schemes) == 0 {
+		g.Schemes = append([]string(nil), experiments.Schemes...)
+	} else {
+		scs := make([]string, len(g.Schemes))
+		for i, sc := range g.Schemes {
+			scs[i] = strings.ToUpper(strings.TrimSpace(sc))
+		}
+		g.Schemes = scs
+	}
+	if len(g.CacheMults) == 0 {
+		g.CacheMults = []float64{1}
+	}
+	if len(g.RateFactors) == 0 {
+		g.RateFactors = []float64{1}
+	}
+	if g.Replicates < 1 {
+		g.Replicates = 1
+	}
+	if g.Seed == 0 {
+		g.Seed = 1
+	}
+	return g
+}
+
+// Validate reports the first invalid axis value. Unlike the experiments
+// package (whose specs are code), grids arrive from CLI flags, so bad
+// names must surface as errors, not panics. Duplicate axis values are
+// rejected too: a repeated value would re-run identical simulations and
+// silently inflate the cell's replicate count past Grid.Replicates.
+func (g Grid) Validate() error {
+	g = g.Normalize()
+	for _, wl := range g.Workloads {
+		switch wl {
+		case experiments.WorkloadTPCC, experiments.WorkloadMail, experiments.WorkloadWeb:
+		default:
+			return fmt.Errorf("sweep: unknown workload %q (want tpcc|mail|web)", wl)
+		}
+	}
+	for _, sc := range g.Schemes {
+		switch sc {
+		case experiments.SchemeWB, experiments.SchemeSIB, experiments.SchemeLBICA:
+		default:
+			return fmt.Errorf("sweep: unknown scheme %q (want wb|sib|lbica)", sc)
+		}
+	}
+	// Bounded open intervals, not mere positivity: NaN and ±Inf slip
+	// through a `<= 0` check (both comparisons are false) and hang the
+	// simulation, and a finite-but-absurd multiplier overflows the set
+	// count downstream. The cache ceiling of 512× (a 128 GiB cache) is
+	// exactly where experiments.RunContext's set-count clamp saturates at
+	// the default geometry — above it, distinct multipliers would run
+	// byte-identical simulations labeled as different cells.
+	for _, cm := range g.CacheMults {
+		if !(cm > 0 && cm <= 512) {
+			return fmt.Errorf("sweep: cache multiplier %v outside (0, 512]", cm)
+		}
+	}
+	for _, rf := range g.RateFactors {
+		if !(rf > 0 && rf <= 1e4) {
+			return fmt.Errorf("sweep: rate factor %v outside (0, 10000]", rf)
+		}
+	}
+	for _, axis := range []struct{ name, dup string }{
+		{"workload", dupString(g.Workloads)},
+		{"scheme", dupString(g.Schemes)},
+		{"cache multiplier", dupFloat(g.CacheMults)},
+		{"rate factor", dupFloat(g.RateFactors)},
+	} {
+		if axis.dup != "" {
+			return fmt.Errorf("sweep: duplicate %s %s in grid axis", axis.name, axis.dup)
+		}
+	}
+	return nil
+}
+
+// dupString returns the first repeated value ("" if none).
+func dupString(vals []string) string {
+	seen := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return v
+		}
+		seen[v] = true
+	}
+	return ""
+}
+
+// dupFloat returns the first repeated value formatted ("" if none).
+func dupFloat(vals []float64) string {
+	seen := make(map[float64]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Sprintf("%v", v)
+		}
+		seen[v] = true
+	}
+	return ""
+}
+
+// Size returns the number of runs the grid expands to: the product of the
+// axis lengths (after defaulting).
+func (g Grid) Size() int {
+	g = g.Normalize()
+	return len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) * g.Replicates
+}
+
+// Point is one expanded run: its grid coordinates plus the ready-to-run
+// spec.
+type Point struct {
+	Workload   string
+	Scheme     string
+	CacheMult  float64
+	RateFactor float64
+	Replicate  int
+	Spec       experiments.Spec
+}
+
+// Expand enumerates the grid in deterministic order — workload-major, then
+// cache multiplier, rate factor, replicate, and scheme innermost, so the
+// schemes of one controlled comparison are adjacent in the run order.
+// Expansion is a pure function of the grid: the same Grid always yields
+// the same points in the same order.
+func (g Grid) Expand() []Point {
+	g = g.Normalize()
+	pts := make([]Point, 0, g.Size())
+	for _, wl := range g.Workloads {
+		for _, cm := range g.CacheMults {
+			for _, rf := range g.RateFactors {
+				for rep := 0; rep < g.Replicates; rep++ {
+					seed := sim.Stream(g.Seed, rep)
+					for _, sc := range g.Schemes {
+						pts = append(pts, Point{
+							Workload:   wl,
+							Scheme:     sc,
+							CacheMult:  cm,
+							RateFactor: rf,
+							Replicate:  rep,
+							Spec: experiments.Spec{
+								Workload:   wl,
+								Scheme:     sc,
+								Seed:       seed,
+								Intervals:  g.Intervals,
+								Interval:   g.Interval,
+								RateFactor: rf,
+								CacheMult:  cm,
+							},
+						})
+					}
+				}
+			}
+		}
+	}
+	return pts
+}
+
+// Run is the record of one finished simulation: the point's coordinates
+// plus the scalar metrics the aggregation consumes. QMeanUS is the mean of
+// the per-interval maximum cache queue times (the Fig. 4 metric, µs);
+// DiskQMeanUS the disk-subsystem counterpart (Fig. 5).
+type Run struct {
+	Workload     string  `json:"workload"`
+	Scheme       string  `json:"scheme"`
+	CacheMult    float64 `json:"cache_mult"`
+	RateFactor   float64 `json:"rate_factor"`
+	Replicate    int     `json:"replicate"`
+	Seed         int64   `json:"seed"`
+	QMeanUS      float64 `json:"q_mean_us"`
+	DiskQMeanUS  float64 `json:"disk_q_mean_us"`
+	AvgLatencyUS float64 `json:"avg_latency_us"`
+	HitRatio     float64 `json:"hit_ratio"`
+	PolicyFlips  int     `json:"policy_flips"`
+	Requests     uint64  `json:"requests"`
+}
+
+// Options tunes a sweep execution.
+type Options struct {
+	// Workers caps the runner pool (≤0 = GOMAXPROCS; 1 = the serial
+	// baseline the determinism test compares against).
+	Workers int
+	// OnDone, when non-nil, observes completion (serialized, completion
+	// order): done runs out of total.
+	OnDone func(done, total int)
+}
+
+// Result is a finished (or interrupted) sweep: the normalized grid, every
+// completed run in expansion order, and the per-cell aggregation.
+type Result struct {
+	Grid  Grid   `json:"grid"`
+	Runs  []Run  `json:"runs"`
+	Cells []Cell `json:"cells"`
+	// Total is the grid size; Completed counts the runs that finished. On
+	// an interrupted sweep Completed < Total and Runs/Cells cover only the
+	// finished work — the partial report.
+	Total     int `json:"total"`
+	Completed int `json:"completed"`
+}
+
+// Execute expands the grid and fans the runs out across the bounded
+// runner pool. The returned Result is byte-identical for every worker
+// count (see the package comment). On cancellation the error is non-nil
+// and the Result still aggregates every run that completed — the CLI's
+// SIGINT partial report.
+func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	g = g.Normalize()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	pts := g.Expand()
+	ro := runner.Options{Workers: opt.Workers}
+	if opt.OnDone != nil {
+		ro.OnDone = func(_, done, total int) { opt.OnDone(done, total) }
+	}
+	// Slots of runs that never finished stay nil; a cancelled in-flight
+	// run returns its partial engine results but a non-nil ctx error keeps
+	// the slot empty — partial reports contain only whole runs.
+	cells, err := runner.Map(ctx, len(pts), ro,
+		func(ctx context.Context, i int) (*engine.Results, error) {
+			return experiments.RunContext(ctx, pts[i].Spec), ctx.Err()
+		})
+	res := &Result{Grid: g, Total: len(pts)}
+	for i, er := range cells {
+		if er == nil {
+			continue
+		}
+		res.Runs = append(res.Runs, newRun(pts[i], er))
+	}
+	res.Completed = len(res.Runs)
+	res.Cells = Aggregate(res.Runs)
+	return res, err
+}
+
+func newRun(pt Point, er *engine.Results) Run {
+	return Run{
+		Workload:     pt.Workload,
+		Scheme:       pt.Scheme,
+		CacheMult:    pt.CacheMult,
+		RateFactor:   pt.RateFactor,
+		Replicate:    pt.Replicate,
+		Seed:         pt.Spec.Seed,
+		QMeanUS:      er.CacheLoadMean() / 1e3,
+		DiskQMeanUS:  er.DiskLoadMean() / 1e3,
+		AvgLatencyUS: float64(er.AppLatency.Mean()) / 1e3,
+		HitRatio:     er.CacheStats.HitRatio(),
+		PolicyFlips:  len(er.Timeline),
+		Requests:     er.AppCompleted,
+	}
+}

@@ -1,0 +1,148 @@
+package lbica
+
+import (
+	"context"
+	"io"
+	"time"
+
+	"lbica/internal/sweep"
+)
+
+// GridSpec declares a parameter sweep: the cross product of its axes,
+// generalizing the paper's fixed 3 workloads × 3 schemes matrix along the
+// dimensions its claims should be robust to. Empty axes fall back to the
+// paper's evaluation defaults, so the zero GridSpec is exactly the paper's
+// matrix.
+type GridSpec struct {
+	// Workloads (tpcc|mail|web) and Schemes (wb|sib|lbica); empty = all.
+	Workloads []string
+	Schemes   []string
+	// CacheMults scales the SSD cache capacity relative to the paper's
+	// 256 MiB configuration (empty = {1}).
+	CacheMults []float64
+	// RateFactors scales workload IOPS (empty = {1}).
+	RateFactors []float64
+	// SeedReplicates is the number of seed replicates per cell (default 1).
+	// Replicate r derives its seed from (Seed, r) alone, and every scheme
+	// inside a replicate shares it — the paper's controlled comparison.
+	SeedReplicates int
+	// Seed is the base seed (default 1).
+	Seed int64
+	// Intervals and IntervalLength override the per-run scale (0 = the
+	// paper's defaults).
+	Intervals      int
+	IntervalLength time.Duration
+}
+
+// SweepOptions tunes sweep execution.
+type SweepOptions struct {
+	// Workers caps the runner pool (≤0 = GOMAXPROCS; 1 = serial baseline).
+	Workers int
+	// OnProgress, when non-nil, observes completion (serialized,
+	// completion order).
+	OnProgress func(done, total int)
+}
+
+// SweepRun is one finished simulation of a sweep: its grid coordinates
+// plus scalar metrics. QMeanUS is the run's mean per-interval maximum
+// cache queue time (the Fig. 4 metric, µs) and DiskQMeanUS the
+// disk-subsystem counterpart.
+type SweepRun struct {
+	Workload     string
+	Scheme       string
+	CacheMult    float64
+	RateFactor   float64
+	Replicate    int
+	Seed         int64
+	QMeanUS      float64
+	DiskQMeanUS  float64
+	AvgLatencyUS float64
+	HitRatio     float64
+	PolicyFlips  int
+	Requests     uint64
+}
+
+// SweepCell summarizes one (workload, scheme, cache-mult, rate) cell
+// across its seed replicates: mean/min/max of the max-queue-time metric,
+// mean latency and hit ratio, mean policy-flip count, and latency
+// speedups against the WB and SIB cells at the same coordinate (zero when
+// the sweep has no matching baseline).
+type SweepCell struct {
+	Workload        string
+	Scheme          string
+	CacheMult       float64
+	RateFactor      float64
+	Replicates      int
+	QMeanUS         float64
+	QMinUS          float64
+	QMaxUS          float64
+	DiskQMeanUS     float64
+	LatencyMeanUS   float64
+	HitRatioMean    float64
+	PolicyFlipsMean float64
+	SpeedupVsWB     float64
+	SpeedupVsSIB    float64
+}
+
+// SweepResult is a finished (or interrupted) sweep: every completed run in
+// deterministic expansion order plus the per-cell aggregation. Total is
+// the grid size; on an interrupted sweep Completed < Total and the result
+// covers only the runs that finished.
+type SweepResult struct {
+	Runs      []SweepRun
+	Cells     []SweepCell
+	Total     int
+	Completed int
+
+	res *sweep.Result
+}
+
+// Sweep expands the grid and executes it across the bounded worker pool.
+//
+// The determinism guarantee of RunAll extends to sweeps: expansion order
+// is a pure function of the spec, every run's randomness derives from its
+// own grid coordinates, and aggregation folds runs in expansion order —
+// so the result (and every emitted report) is byte-identical for any
+// worker count, including the Workers == 1 serial baseline.
+//
+// Cancellation returns ctx's error together with a partial result
+// aggregating the runs that completed.
+func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, error) {
+	res, err := sweep.Execute(ctx, sweep.Grid{
+		Workloads:   g.Workloads,
+		Schemes:     g.Schemes,
+		CacheMults:  g.CacheMults,
+		RateFactors: g.RateFactors,
+		Replicates:  g.SeedReplicates,
+		Seed:        g.Seed,
+		Intervals:   g.Intervals,
+		Interval:    g.IntervalLength,
+	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress})
+	if res == nil {
+		return nil, err
+	}
+	out := &SweepResult{
+		Runs:      make([]SweepRun, len(res.Runs)),
+		Cells:     make([]SweepCell, len(res.Cells)),
+		Total:     res.Total,
+		Completed: res.Completed,
+		res:       res,
+	}
+	for i, r := range res.Runs {
+		out.Runs[i] = SweepRun(r)
+	}
+	for i, c := range res.Cells {
+		out.Cells[i] = SweepCell(c)
+	}
+	return out, err
+}
+
+// WriteCSV emits the per-cell summaries as CSV (lossless float encoding;
+// sweep.ParseCellsCSV-compatible layout).
+func (r *SweepResult) WriteCSV(w io.Writer) error { return sweep.WriteCellsCSV(w, r.res.Cells) }
+
+// WriteJSON emits the whole result — grid, runs, cells — as indented JSON.
+func (r *SweepResult) WriteJSON(w io.Writer) error { return sweep.WriteJSON(w, r.res) }
+
+// WriteReport renders the compact text report.
+func (r *SweepResult) WriteReport(w io.Writer) error { return sweep.WriteReport(w, r.res) }

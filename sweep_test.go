@@ -1,0 +1,117 @@
+package lbica_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"lbica"
+)
+
+func quickGrid() lbica.GridSpec {
+	return lbica.GridSpec{
+		Workloads:      []string{"tpcc"},
+		Schemes:        []string{"wb", "sib", "lbica"},
+		CacheMults:     []float64{0.5, 1},
+		SeedReplicates: 2,
+		Seed:           3,
+		Intervals:      4,
+	}
+}
+
+// TestSweepFacade exercises the public Sweep path end to end: grid
+// expansion, execution, aggregation, and all three emitters.
+func TestSweepFacade(t *testing.T) {
+	var progress int
+	res, err := lbica.Sweep(t.Context(), quickGrid(), lbica.SweepOptions{
+		OnProgress: func(done, total int) { progress = done },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total != 12 || res.Completed != 12 || len(res.Runs) != 12 {
+		t.Fatalf("total %d, completed %d, runs %d; want 12 each", res.Total, res.Completed, len(res.Runs))
+	}
+	if progress != 12 {
+		t.Errorf("OnProgress last reported %d, want 12", progress)
+	}
+	if len(res.Cells) != 6 { // 1 workload × 3 schemes × 2 cache sizes
+		t.Fatalf("got %d cells, want 6", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Replicates != 2 {
+			t.Errorf("cell %s/%s@%g aggregated %d replicates, want 2", c.Workload, c.Scheme, c.CacheMult, c.Replicates)
+		}
+		if c.QMinUS > c.QMeanUS || c.QMeanUS > c.QMaxUS {
+			t.Errorf("cell %s/%s@%g: min/mean/max out of order: %v/%v/%v",
+				c.Workload, c.Scheme, c.CacheMult, c.QMinUS, c.QMeanUS, c.QMaxUS)
+		}
+		if c.Scheme == "LBICA" && c.SpeedupVsWB == 0 {
+			t.Errorf("LBICA cell @%g missing its vs-WB speedup", c.CacheMult)
+		}
+	}
+	for _, emit := range []struct {
+		name string
+		fn   func(*lbica.SweepResult) error
+		want string
+	}{
+		{"csv", func(r *lbica.SweepResult) error { return r.WriteCSV(discardCheck(t, "workload,scheme")) }, ""},
+		{"json", func(r *lbica.SweepResult) error { return r.WriteJSON(discardCheck(t, `"cells"`)) }, ""},
+		{"report", func(r *lbica.SweepResult) error { return r.WriteReport(discardCheck(t, "sweep:")) }, ""},
+	} {
+		if err := emit.fn(res); err != nil {
+			t.Errorf("%s emitter: %v", emit.name, err)
+		}
+	}
+}
+
+// discardCheck returns a writer that asserts the emitted stream contains
+// the marker once the test ends.
+func discardCheck(t *testing.T, marker string) *markerWriter {
+	t.Helper()
+	w := &markerWriter{}
+	t.Cleanup(func() {
+		if !strings.Contains(w.b.String(), marker) {
+			t.Errorf("emitted stream missing %q:\n%s", marker, w.b.String())
+		}
+	})
+	return w
+}
+
+type markerWriter struct{ b strings.Builder }
+
+func (w *markerWriter) Write(p []byte) (int, error) { return w.b.Write(p) }
+
+// TestSweepPartialOnCancel: cancelling mid-sweep returns the context
+// error together with a result aggregating only the completed runs.
+func TestSweepPartialOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(t.Context())
+	defer cancel()
+	g := quickGrid()
+	g.SeedReplicates = 4 // enough work that cancellation lands mid-sweep
+	res, err := lbica.Sweep(ctx, g, lbica.SweepOptions{
+		Workers:    1,
+		OnProgress: func(done, total int) { cancel() },
+	})
+	if err == nil {
+		t.Fatal("cancelled sweep returned no error")
+	}
+	if res == nil {
+		t.Fatal("cancelled sweep returned no partial result")
+	}
+	if res.Completed == 0 || res.Completed >= res.Total {
+		t.Errorf("completed %d of %d; want a strictly partial sweep", res.Completed, res.Total)
+	}
+	if len(res.Runs) != res.Completed {
+		t.Errorf("partial result carries %d runs but reports %d completed", len(res.Runs), res.Completed)
+	}
+}
+
+// TestSweepRejectsBadGrid: validation errors surface before any
+// simulation runs.
+func TestSweepRejectsBadGrid(t *testing.T) {
+	_, err := lbica.Sweep(t.Context(), lbica.GridSpec{Workloads: []string{"nope"}}, lbica.SweepOptions{})
+	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
+		t.Errorf("got %v, want unknown-workload error", err)
+	}
+}
