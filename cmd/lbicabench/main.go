@@ -15,10 +15,20 @@
 //	lbicabench -fig 6          # only Fig. 6
 //	lbicabench -summary        # just the headline table on stdout
 //	lbicabench -workers 1      # serial baseline
+//
+// With -perf it instead runs the hot-path benchmark suite (kernel
+// schedule/fire, cache hit/miss, queue push/merge, full-matrix end-to-end)
+// and emits machine-readable JSON — the command that regenerates
+// BENCH_hotpath.json:
+//
+//	lbicabench -perf                       # full suite, paper-scale matrix
+//	lbicabench -perf -perf-filter kernel   # kernel microbenchmarks only
+//	lbicabench -perf -intervals 20         # coarse, fast matrix scale
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +38,7 @@ import (
 
 	"lbica/internal/cli"
 	"lbica/internal/experiments"
+	"lbica/internal/perf"
 )
 
 func main() { cli.Main("lbicabench", run) }
@@ -37,16 +48,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbicabench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		out       = fs.String("out", "results", "output directory for CSV files")
-		fig       = fs.Int("fig", 0, "regenerate only this figure (4, 5, 6 or 7); 0 = all")
-		summary   = fs.Bool("summary", false, "print only the headline table")
-		seed      = fs.Int64("seed", 1, "random seed")
-		rate      = fs.Float64("rate", 1, "workload IOPS scale factor")
-		workers   = fs.Int("workers", 0, "worker pool size for the matrix (0 = GOMAXPROCS, 1 = serial)")
-		intervals = fs.Int("intervals", 0, "override the per-run interval count (0 = paper scale)")
+		out        = fs.String("out", "results", "output directory for CSV files")
+		fig        = fs.Int("fig", 0, "regenerate only this figure (4, 5, 6 or 7); 0 = all")
+		summary    = fs.Bool("summary", false, "print only the headline table")
+		seed       = fs.Int64("seed", 1, "random seed")
+		rate       = fs.Float64("rate", 1, "workload IOPS scale factor")
+		workers    = fs.Int("workers", 0, "worker pool size for the matrix (0 = GOMAXPROCS, 1 = serial)")
+		intervals  = fs.Int("intervals", 0, "override the per-run interval count (0 = paper scale)")
+		perfMode   = fs.Bool("perf", false, "run the hot-path benchmark suite and emit JSON results on stdout")
+		perfFilter = fs.String("perf-filter", "", "with -perf: run only benchmarks whose name contains this substring")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+
+	if *perfMode {
+		rep := perf.Run(*perfFilter, *intervals)
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
 	}
 
 	start := time.Now()

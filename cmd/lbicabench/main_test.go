@@ -2,12 +2,15 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lbica/internal/perf"
 )
 
 // Smoke: a reduced-scale sweep must emit every figure CSV with content
@@ -73,5 +76,25 @@ func TestRunHelpIsNotAnError(t *testing.T) {
 	}
 	if !strings.Contains(errBuf.String(), "Usage of lbicabench") {
 		t.Errorf("-h did not print usage:\n%s", errBuf.String())
+	}
+}
+
+// Smoke: -perf emits a machine-readable JSON report for the filtered
+// benchmark set without touching the figure pipeline.
+func TestRunPerfMode(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(), []string{"-perf", "-perf-filter", "schedule-cancel"}, &out, &errBuf)
+	if err != nil {
+		t.Fatalf("run -perf: %v (stderr: %s)", err, errBuf.String())
+	}
+	var rep perf.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not a perf report: %v\n%s", err, out.String())
+	}
+	if len(rep.Results) != 1 || rep.Results[0].Name != "kernel/schedule-cancel" {
+		t.Fatalf("unexpected results: %+v", rep.Results)
+	}
+	if rep.Results[0].NsPerOp <= 0 {
+		t.Errorf("degenerate measurement: %+v", rep.Results[0])
 	}
 }

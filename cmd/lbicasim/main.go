@@ -42,10 +42,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cacheMiB     = fs.Int("cache-mib", 0, "cache size in MiB (0 = default 256)")
 		cold         = fs.Bool("cold", false, "start with a cold cache (skip prewarm)")
 		configPath   = fs.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "lbicasim: profile:", err)
+		}
+	}()
 
 	opts := lbica.Options{
 		Workload:       *workloadName,

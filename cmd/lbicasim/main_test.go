@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -88,5 +89,40 @@ func TestRunCancelledContext(t *testing.T) {
 	var out, errBuf strings.Builder
 	if err := run(ctx, []string{"-intervals", "2", "-cold"}, &out, &errBuf); err == nil {
 		t.Error("cancelled context returned nil error")
+	}
+}
+
+// Smoke: -cpuprofile/-memprofile must write non-empty profile files.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workload", "tpcc", "-scheme", "wb", "-intervals", "3", "-cold",
+			"-cpuprofile", cpu, "-memprofile", mem},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// An unwritable profile path must fail up front, before the run.
+func TestRunRejectsBadProfilePath(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workload", "tpcc", "-intervals", "1", "-cpuprofile", t.TempDir()},
+		&out, &errBuf)
+	if err == nil {
+		t.Fatal("directory as -cpuprofile did not error")
 	}
 }

@@ -90,22 +90,33 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbicasweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		workloads = fs.String("workloads", "", "comma list of workloads: tpcc,mail,web (empty = all)")
-		schemes   = fs.String("schemes", "", "comma list of schemes: wb,sib,lbica (empty = all)")
-		cacheMult = fs.String("cache-mult", "1", "comma list of cache-size multipliers (1 = the paper's 256 MiB)")
-		rate      = fs.String("rate", "1", "comma list of workload IOPS scale factors")
-		seeds     = fs.Int("seeds", 1, "seed replicates per cell (replicate seeds derive from -seed)")
-		seed      = fs.Int64("seed", 1, "base random seed")
-		intervals = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
-		interval  = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
-		workers   = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		format    = fs.String("format", "text", "stdout format: text|csv|json")
-		out       = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
-		quiet     = fs.Bool("q", false, "suppress the progress log on stderr")
+		workloads  = fs.String("workloads", "", "comma list of workloads: tpcc,mail,web (empty = all)")
+		schemes    = fs.String("schemes", "", "comma list of schemes: wb,sib,lbica (empty = all)")
+		cacheMult  = fs.String("cache-mult", "1", "comma list of cache-size multipliers (1 = the paper's 256 MiB)")
+		rate       = fs.String("rate", "1", "comma list of workload IOPS scale factors")
+		seeds      = fs.Int("seeds", 1, "seed replicates per cell (replicate seeds derive from -seed)")
+		seed       = fs.Int64("seed", 1, "base random seed")
+		intervals  = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
+		interval   = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
+		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		format     = fs.String("format", "text", "stdout format: text|csv|json")
+		out        = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
+		quiet      = fs.Bool("q", false, "suppress the progress log on stderr")
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
+	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(stderr, "lbicasweep: profile:", err)
+		}
+	}()
 	switch *format {
 	case "text", "csv", "json":
 	default:

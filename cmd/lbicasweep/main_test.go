@@ -140,3 +140,24 @@ func TestRunCancelledBeforeStart(t *testing.T) {
 		t.Errorf("cancelled-before-start run still produced a report:\n%s", out.String())
 	}
 }
+
+// Smoke: -cpuprofile/-memprofile must write non-empty profile files.
+func TestRunWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out, errBuf strings.Builder
+	args := append(append([]string{}, sweepArgs...), "-cpuprofile", cpu, "-memprofile", mem)
+	if err := run(t.Context(), args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if fi.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}

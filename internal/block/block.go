@@ -153,6 +153,12 @@ type Request struct {
 	// (after timestamps are stamped). The engine uses it to chain the
 	// request lifecycle: miss fill → promote, eviction → writeback, etc.
 	OnComplete func(*Request)
+
+	// Recycle marks a request owned by a request pool: after every
+	// completion callback has run, the owner returns it to its free-list
+	// and may reuse it for a later request. Externally created requests
+	// (tests, tools) leave it false and are never recycled.
+	Recycle bool
 }
 
 // Op returns the transfer direction of the request.

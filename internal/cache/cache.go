@@ -84,14 +84,19 @@ func equalFold(a, b string) bool {
 	return true
 }
 
-// line is one way of one set.
-type line struct {
-	tag      int64 // block number; -1 when invalid
-	dirty    bool
-	flushing bool
+// The cache stores line state in structure-of-arrays layout: a compact
+// tag array (8 bytes per way — a whole 8-way set probes in one or two
+// cache lines) with the colder metadata alongside in a parallel slice.
+// find touches only the tag array; metadata is loaded just for the way
+// that hits.
+
+// lineMeta is the non-tag state of one way of one set.
+type lineMeta struct {
 	epoch    uint64 // bumped on every dirtying write; guards MarkClean
 	lastUse  uint64 // global LRU tick
 	loadedAt uint64 // tick at allocation (FIFO replacement)
+	dirty    bool
+	flushing bool
 }
 
 // Victim identifies an evicted block. Dirty victims cost an SSD read (E)
@@ -120,7 +125,9 @@ type Decision struct {
 	// Promote: after the disk read completes, fill the SSD (origin
 	// Promote).
 	Promote bool
-	// Victims evicted to make room; issue their writebacks.
+	// Victims evicted to make room; issue their writebacks. The slice
+	// aliases a scratch buffer owned by the Cache and is valid only until
+	// the next Access/Prewarm call — consume (or copy) it immediately.
 	Victims []Victim
 }
 
@@ -216,14 +223,21 @@ func DefaultConfig() Config {
 
 // Cache is the set-associative cache metadata machine.
 type Cache struct {
-	cfg    Config
-	policy Policy
-	sets   [][]line
-	tick   uint64
-	dirty  int
-	valid  int
-	stats  Stats
-	rndSt  uint64 // xorshift state for Random replacement
+	cfg     Config
+	policy  Policy
+	tags    []int64    // Sets×Ways block numbers; -1 when invalid
+	meta    []lineMeta // parallel to tags
+	ways    int
+	setMask int64 // Sets-1 when Sets is a power of two, else -1
+	tick    uint64
+	dirty   int
+	valid   int
+	stats   Stats
+	rndSt   uint64 // xorshift state for Random replacement
+	// victims is the scratch buffer Decision.Victims aliases; it is valid
+	// until the next Access/Prewarm call and reused to keep the hot path
+	// allocation-free.
+	victims []Victim
 }
 
 // New builds a cache. Invalid geometry panics: the caller controls config.
@@ -240,14 +254,15 @@ func New(cfg Config) *Cache {
 	if cfg.DirtyLowWatermark == 0 {
 		cfg.DirtyLowWatermark = 0.5
 	}
-	c := &Cache{cfg: cfg, policy: cfg.InitialPolicy, rndSt: uint64(cfg.ReplacementSeed)*2654435761 + 0x9e3779b97f4a7c15}
-	c.sets = make([][]line, cfg.Sets)
-	backing := make([]line, cfg.Sets*cfg.Ways)
-	for i := range backing {
-		backing[i].tag = -1
+	c := &Cache{cfg: cfg, policy: cfg.InitialPolicy, ways: cfg.Ways, rndSt: uint64(cfg.ReplacementSeed)*2654435761 + 0x9e3779b97f4a7c15}
+	c.tags = make([]int64, cfg.Sets*cfg.Ways)
+	c.meta = make([]lineMeta, cfg.Sets*cfg.Ways)
+	for i := range c.tags {
+		c.tags[i] = -1
 	}
-	for s := 0; s < cfg.Sets; s++ {
-		c.sets[s], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	c.setMask = -1
+	if n := int64(cfg.Sets); n&(n-1) == 0 {
+		c.setMask = n - 1
 	}
 	return c
 }
@@ -296,27 +311,39 @@ func (c *Cache) blocksOf(e block.Extent) (first, last int64) {
 	return e.LBA / c.cfg.BlockSectors, (e.End() - 1) / c.cfg.BlockSectors
 }
 
-func (c *Cache) setOf(blockNum int64) []line {
-	s := blockNum % int64(c.cfg.Sets)
-	if s < 0 {
-		s = -s
-	}
-	return c.sets[s]
-}
-
-// find returns the way holding blockNum, or nil.
-func (c *Cache) find(blockNum int64) *line {
-	set := c.setOf(blockNum)
-	for i := range set {
-		if set[i].tag == blockNum {
-			return &set[i]
+// setBase returns the tag/meta index of blockNum's set's first way.
+func (c *Cache) setBase(blockNum int64) int {
+	var s int64
+	if c.setMask >= 0 {
+		s = blockNum & c.setMask
+		if blockNum < 0 {
+			s = -blockNum & c.setMask
+		}
+	} else {
+		s = blockNum % int64(c.cfg.Sets)
+		if s < 0 {
+			s = -s
 		}
 	}
-	return nil
+	return int(s) * c.ways
+}
+
+// find returns the tag/meta index of the way holding blockNum, or -1. It
+// probes only the compact tag array — the common miss scans Ways
+// contiguous int64s and never loads line metadata.
+func (c *Cache) find(blockNum int64) int {
+	base := c.setBase(blockNum)
+	tags := c.tags[base : base+c.ways]
+	for i, t := range tags {
+		if t == blockNum {
+			return base + i
+		}
+	}
+	return -1
 }
 
 // Contains reports whether blockNum is cached (valid).
-func (c *Cache) Contains(blockNum int64) bool { return c.find(blockNum) != nil }
+func (c *Cache) Contains(blockNum int64) bool { return c.find(blockNum) >= 0 }
 
 // DirtyIn reports whether any block covered by e is dirty — the safety
 // check before a balancer re-routes a queued read to the disk tier (dirty
@@ -324,7 +351,7 @@ func (c *Cache) Contains(blockNum int64) bool { return c.find(blockNum) != nil }
 func (c *Cache) DirtyIn(e block.Extent) bool {
 	first, last := c.blocksOf(e)
 	for b := first; b <= last; b++ {
-		if l := c.find(b); l != nil && l.dirty {
+		if i := c.find(b); i >= 0 && c.meta[i].dirty {
 			return true
 		}
 	}
@@ -332,34 +359,37 @@ func (c *Cache) DirtyIn(e block.Extent) bool {
 }
 
 // touch refreshes LRU state.
-func (c *Cache) touch(l *line) {
+func (c *Cache) touch(i int) {
 	c.tick++
-	l.lastUse = c.tick
+	c.meta[i].lastUse = c.tick
 }
 
 // allocate installs blockNum in its set, evicting the LRU victim if the set
-// is full. Returns the line and, if an eviction occurred, the victim.
-// Lines already present are returned as-is.
-func (c *Cache) allocate(blockNum int64) (*line, *Victim) {
-	if l := c.find(blockNum); l != nil {
-		c.touch(l)
-		return l, nil
+// is full. It returns the line index and, when an eviction occurred,
+// appends the victim to the cache's scratch victim buffer (the evicted
+// return reports it). Lines already present are returned as-is.
+func (c *Cache) allocate(blockNum int64) (idx int, evicted bool) {
+	if i := c.find(blockNum); i >= 0 {
+		c.touch(i)
+		return i, false
 	}
-	set := c.setOf(blockNum)
+	base := c.setBase(blockNum)
 	// Prefer an invalid way.
-	var choice *line
-	for i := range set {
-		if set[i].tag == -1 {
-			choice = &set[i]
+	choice := -1
+	tags := c.tags[base : base+c.ways]
+	for i, t := range tags {
+		if t == -1 {
+			choice = base + i
 			break
 		}
 	}
-	var victim *Victim
-	if choice == nil {
-		choice = c.pickVictim(set)
-		v := Victim{Block: choice.tag, Dirty: choice.dirty && !choice.flushing, Epoch: choice.epoch}
-		victim = &v
-		if choice.dirty {
+	if choice < 0 {
+		choice = c.pickVictim(base)
+		m := &c.meta[choice]
+		v := Victim{Block: c.tags[choice], Dirty: m.dirty && !m.flushing, Epoch: m.epoch}
+		c.victims = append(c.victims, v)
+		evicted = true
+		if m.dirty {
 			c.dirty--
 			if v.Dirty {
 				c.stats.DirtyEvicts++
@@ -371,25 +401,26 @@ func (c *Cache) allocate(blockNum int64) (*line, *Victim) {
 		}
 		c.valid--
 	}
-	choice.tag = blockNum
-	choice.dirty = false
-	choice.flushing = false
-	choice.epoch = 0
+	c.tags[choice] = blockNum
+	m := &c.meta[choice]
+	m.dirty = false
+	m.flushing = false
+	m.epoch = 0
 	c.valid++
 	c.touch(choice)
-	choice.loadedAt = c.tick
-	return choice, victim
+	m.loadedAt = c.tick
+	return choice, evicted
 }
 
 // pickVictim selects the way to evict per the configured replacement
 // policy, preferring lines not mid-flush (their writeback is already in
 // flight; evicting them as clean is safe but avoided when any alternative
-// exists).
-func (c *Cache) pickVictim(set []line) *line {
-	score := func(l *line) uint64 {
+// exists). base indexes the set's first way.
+func (c *Cache) pickVictim(base int) int {
+	score := func(m *lineMeta) uint64 {
 		switch c.cfg.Replacement {
 		case FIFO:
-			return l.loadedAt
+			return m.loadedAt
 		case Random:
 			// xorshift64*: cheap deterministic pseudo-randomness.
 			c.rndSt ^= c.rndSt << 13
@@ -397,35 +428,36 @@ func (c *Cache) pickVictim(set []line) *line {
 			c.rndSt ^= c.rndSt << 17
 			return c.rndSt
 		default:
-			return l.lastUse
+			return m.lastUse
 		}
 	}
-	var best, bestAny *line
+	best, bestAny := -1, -1
 	var bestScore, bestAnyScore uint64
-	for i := range set {
-		l := &set[i]
-		s := score(l)
-		if bestAny == nil || s < bestAnyScore {
-			bestAny, bestAnyScore = l, s
+	for i := base; i < base+c.ways; i++ {
+		m := &c.meta[i]
+		s := score(m)
+		if bestAny < 0 || s < bestAnyScore {
+			bestAny, bestAnyScore = i, s
 		}
-		if !l.flushing && (best == nil || s < bestScore) {
-			best, bestScore = l, s
+		if !m.flushing && (best < 0 || s < bestScore) {
+			best, bestScore = i, s
 		}
 	}
-	if best == nil {
+	if best < 0 {
 		return bestAny
 	}
 	return best
 }
 
 // markDirty transitions a line to dirty.
-func (c *Cache) markDirty(l *line) {
-	if !l.dirty {
-		l.dirty = true
+func (c *Cache) markDirty(i int) {
+	m := &c.meta[i]
+	if !m.dirty {
+		m.dirty = true
 		c.dirty++
 	}
-	l.flushing = false
-	l.epoch++
+	m.flushing = false
+	m.epoch++
 }
 
 // Access applies the current policy to one application request and returns
@@ -444,8 +476,8 @@ func (c *Cache) read(e block.Extent) Decision {
 	first, last := c.blocksOf(e)
 	allHit := true
 	for b := first; b <= last; b++ {
-		if l := c.find(b); l != nil {
-			c.touch(l)
+		if i := c.find(b); i >= 0 {
+			c.touch(i)
 		} else {
 			allHit = false
 		}
@@ -461,14 +493,18 @@ func (c *Cache) read(e block.Extent) Decision {
 		return d
 	}
 	d.Promote = true
+	c.victims = c.victims[:0]
+	anyVictim := false
 	for b := first; b <= last; b++ {
-		if c.find(b) != nil {
+		if c.find(b) >= 0 {
 			continue
 		}
-		_, v := c.allocate(b)
-		if v != nil {
-			d.Victims = append(d.Victims, *v)
+		if _, ev := c.allocate(b); ev {
+			anyVictim = true
 		}
+	}
+	if anyVictim {
+		d.Victims = c.victims
 	}
 	c.stats.Promotes++
 	return d
@@ -479,7 +515,7 @@ func (c *Cache) write(e block.Extent) Decision {
 	first, last := c.blocksOf(e)
 	present := true
 	for b := first; b <= last; b++ {
-		if c.find(b) == nil {
+		if c.find(b) < 0 {
 			present = false
 			break
 		}
@@ -499,29 +535,36 @@ func (c *Cache) write(e block.Extent) Decision {
 		return Decision{Hit: present, DiskWrite: true}
 	case WB, WO:
 		d := Decision{Hit: present, CacheWrite: true}
+		c.victims = c.victims[:0]
+		anyVictim := false
 		for b := first; b <= last; b++ {
-			l, v := c.allocate(b)
-			c.markDirty(l)
-			if v != nil {
-				d.Victims = append(d.Victims, *v)
-			}
+			i, ev := c.allocate(b)
+			c.markDirty(i)
+			anyVictim = anyVictim || ev
+		}
+		if anyVictim {
+			d.Victims = c.victims
 		}
 		return d
 	default: // WT, WTWO — through-write, clean allocate
 		d := Decision{Hit: present, CacheWrite: true, DiskWrite: true}
+		c.victims = c.victims[:0]
+		anyVictim := false
 		for b := first; b <= last; b++ {
-			l, v := c.allocate(b)
-			if l.dirty {
+			i, ev := c.allocate(b)
+			m := &c.meta[i]
+			if m.dirty {
 				// A through-write over a previously dirty line cleans it:
 				// the disk leg persists the latest data.
-				l.dirty = false
-				l.flushing = false
+				m.dirty = false
+				m.flushing = false
 				c.dirty--
 			}
-			l.epoch++
-			if v != nil {
-				d.Victims = append(d.Victims, *v)
-			}
+			m.epoch++
+			anyVictim = anyVictim || ev
+		}
+		if anyVictim {
+			d.Victims = c.victims
 		}
 		return d
 	}
@@ -530,16 +573,17 @@ func (c *Cache) write(e block.Extent) Decision {
 // invalidate drops blockNum if cached. Dirty data is dropped too — callers
 // only invalidate when the up-to-date data is on its way to the disk.
 func (c *Cache) invalidate(blockNum int64) {
-	l := c.find(blockNum)
-	if l == nil {
+	i := c.find(blockNum)
+	if i < 0 {
 		return
 	}
-	if l.dirty {
+	m := &c.meta[i]
+	if m.dirty {
 		c.dirty--
 	}
-	l.tag = -1
-	l.dirty = false
-	l.flushing = false
+	c.tags[i] = -1
+	m.dirty = false
+	m.flushing = false
 	c.valid--
 	c.stats.Invalidations++
 }
@@ -575,18 +619,18 @@ func (c *Cache) CollectDirty(max int) []DirtyBlock {
 	if max <= 0 {
 		return nil
 	}
+	if c.dirty == 0 {
+		return nil
+	}
 	out := make([]DirtyBlock, 0, max)
-	for s := range c.sets {
-		set := c.sets[s]
-		for i := range set {
-			l := &set[i]
-			if l.tag >= 0 && l.dirty && !l.flushing {
-				l.flushing = true
-				c.stats.FlushesStarted++
-				out = append(out, DirtyBlock{Block: l.tag, Epoch: l.epoch})
-				if len(out) == max {
-					return out
-				}
+	for i, tag := range c.tags {
+		m := &c.meta[i]
+		if tag >= 0 && m.dirty && !m.flushing {
+			m.flushing = true
+			c.stats.FlushesStarted++
+			out = append(out, DirtyBlock{Block: tag, Epoch: m.epoch})
+			if len(out) == max {
+				return out
 			}
 		}
 	}
@@ -596,16 +640,17 @@ func (c *Cache) CollectDirty(max int) []DirtyBlock {
 // MarkClean completes a flush: the line becomes clean unless it was
 // rewritten (epoch advanced) or replaced since CollectDirty.
 func (c *Cache) MarkClean(blockNum int64, epoch uint64) {
-	l := c.find(blockNum)
-	if l == nil || l.epoch != epoch {
+	i := c.find(blockNum)
+	if i < 0 || c.meta[i].epoch != epoch {
 		return
 	}
-	if l.dirty {
-		l.dirty = false
+	m := &c.meta[i]
+	if m.dirty {
+		m.dirty = false
 		c.dirty--
 		c.stats.Flushed++
 	}
-	l.flushing = false
+	m.flushing = false
 }
 
 // NeedsFlush reports whether the dirty ratio exceeds the high watermark.
@@ -622,9 +667,9 @@ func (c *Cache) FlushSatisfied() bool {
 // Prewarm installs the given blocks as valid and clean without generating
 // I/O — the paper's "workload has passed its warm-up interval" assumption.
 func (c *Cache) Prewarm(blocks []int64) {
+	c.victims = c.victims[:0]
 	for _, b := range blocks {
-		l, _ := c.allocate(b)
-		_ = l
+		c.allocate(b)
 	}
 }
 
@@ -633,26 +678,25 @@ func (c *Cache) Prewarm(blocks []int64) {
 func (c *Cache) CheckInvariants() error {
 	valid, dirty := 0, 0
 	seen := make(map[int64]bool)
-	for s := range c.sets {
-		for i := range c.sets[s] {
-			l := &c.sets[s][i]
-			if l.tag == -1 {
-				if l.dirty || l.flushing {
-					return fmt.Errorf("invalid line with dirty/flushing state in set %d", s)
-				}
-				continue
+	for i, tag := range c.tags {
+		s := i / c.ways
+		m := &c.meta[i]
+		if tag == -1 {
+			if m.dirty || m.flushing {
+				return fmt.Errorf("invalid line with dirty/flushing state in set %d", s)
 			}
-			if seen[l.tag] {
-				return fmt.Errorf("block %d cached twice", l.tag)
-			}
-			seen[l.tag] = true
-			if want := l.tag % int64(c.cfg.Sets); want != int64(s) {
-				return fmt.Errorf("block %d in wrong set %d (want %d)", l.tag, s, want)
-			}
-			valid++
-			if l.dirty {
-				dirty++
-			}
+			continue
+		}
+		if seen[tag] {
+			return fmt.Errorf("block %d cached twice", tag)
+		}
+		seen[tag] = true
+		if want := tag % int64(c.cfg.Sets); want != int64(s) {
+			return fmt.Errorf("block %d in wrong set %d (want %d)", tag, s, want)
+		}
+		valid++
+		if m.dirty {
+			dirty++
 		}
 	}
 	if valid != c.valid {

@@ -11,6 +11,8 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 )
 
 // ErrUsage marks a flag-parse failure the FlagSet has already reported to
@@ -30,6 +32,42 @@ func Parse(fs *flag.FlagSet, args []string) error {
 	default:
 		return ErrUsage
 	}
+}
+
+// StartProfiles begins the standard -cpuprofile/-memprofile collection.
+// Either path may be empty (that profile is skipped). The returned stop
+// function finishes both profiles — call it exactly once, after the
+// workload, even on error paths (a partial CPU profile of an interrupted
+// run is still useful).
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() error {
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			errs = append(errs, cpuFile.Close())
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, err)
+			} else {
+				runtime.GC() // materialize the final live set
+				errs = append(errs, pprof.WriteHeapProfile(f), f.Close())
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
 }
 
 // Main runs a command body with a SIGINT-cancelled context and maps its

@@ -285,6 +285,50 @@ type Server struct {
 	completed  uint64
 	onDone     func(*block.Request)
 	onDispatch func(*block.Request)
+	onRelease  func(*block.Request)
+	freeOps    []*inflightOp
+}
+
+// inflightOp carries one dispatched request to its completion event. Ops
+// are pooled (the pool's high-water mark is the device width plus pending
+// completions) and their completion callback is bound once at allocation,
+// so steady-state dispatch allocates nothing.
+type inflightOp struct {
+	s  *Server
+	r  *block.Request
+	fn func() // bound to complete once, at allocation
+}
+
+func (op *inflightOp) complete() {
+	s, r := op.s, op.r
+	op.r = nil
+	s.freeOps = append(s.freeOps, op)
+	r.Complete = s.eng.Now()
+	s.inflight--
+	s.completed++
+	if r.OnComplete != nil {
+		r.OnComplete(r)
+	}
+	if s.onDone != nil {
+		s.onDone(r)
+	}
+	if s.onRelease != nil {
+		s.onRelease(r)
+	}
+	s.Kick()
+}
+
+// getOp pops a pooled inflight op, allocating on pool miss.
+func (s *Server) getOp(r *block.Request) *inflightOp {
+	if n := len(s.freeOps); n > 0 {
+		op := s.freeOps[n-1]
+		s.freeOps = s.freeOps[:n-1]
+		op.r = r
+		return op
+	}
+	op := &inflightOp{s: s, r: r}
+	op.fn = op.complete
+	return op
 }
 
 // Source supplies dispatchable requests — satisfied by *ioqueue.Queue.
@@ -315,6 +359,11 @@ func (s *Server) Kick() {
 // timestamp is stamped and before service begins.
 func (s *Server) OnDispatch(fn func(*block.Request)) { s.onDispatch = fn }
 
+// OnRelease registers a hook that runs after a completed request's every
+// other callback (OnComplete, then the onDone observer) has returned — the
+// point at which the request owner may safely recycle it.
+func (s *Server) OnRelease(fn func(*block.Request)) { s.onRelease = fn }
+
 // Stall occupies one service slot for d — how the simulation charges a
 // balancer's queue-scan overhead (the queue lock is held while in-queue
 // requests are being cost-ranked, as the paper criticizes in SIB).
@@ -337,18 +386,7 @@ func (s *Server) dispatch(r *block.Request) {
 	}
 	svc := s.model.Service(r)
 	s.busy += svc
-	s.eng.After(svc, func() {
-		r.Complete = s.eng.Now()
-		s.inflight--
-		s.completed++
-		if r.OnComplete != nil {
-			r.OnComplete(r)
-		}
-		if s.onDone != nil {
-			s.onDone(r)
-		}
-		s.Kick()
-	})
+	s.eng.After(svc, s.getOp(r).fn)
 }
 
 // Inflight returns the number of requests currently being serviced.

@@ -217,6 +217,20 @@ type Stack struct {
 	maxTicks  int
 	periodics []periodicTask
 
+	// Recycling pools. Requests flow queue → device → completion and are
+	// returned by the servers' OnRelease hook; the op structs carry the
+	// per-request lifecycle state that used to live in closures, with
+	// their callback method values bound once at allocation. At steady
+	// state the whole request lifecycle allocates nothing.
+	freeReqs     []*block.Request
+	freeAppOps   []*appOp
+	freeEvictOps []*evictOp
+
+	// Arrival pump state: one closure per run, the next arrival parked in
+	// pumpReq (only one arrival event is ever outstanding).
+	pumpReq workload.Request
+	pumpFn  func()
+
 	// ctxDone, when non-nil, lets RunContext stop the run cooperatively:
 	// once it is closed no new arrivals or periodic ticks are scheduled
 	// and the event loop drains what is already in flight. The channel is
@@ -229,6 +243,137 @@ type Stack struct {
 type periodicTask struct {
 	every time.Duration
 	fn    func()
+}
+
+// appOp tracks one application request from admission to completion: the
+// arrival stamp for latency accounting, the outstanding device legs
+// (write-through fans out to two), and a pending promote. Its completion
+// callback is the request's OnComplete for every leg.
+type appOp struct {
+	st         *Stack
+	arrival    time.Duration
+	legs       int
+	promote    bool
+	promoteExt block.Extent
+	fn         func(*block.Request) // bound to complete once, at allocation
+}
+
+func (op *appOp) complete(r *block.Request) {
+	op.legs--
+	if op.legs > 0 {
+		return
+	}
+	st := op.st
+	promote, ext := op.promote, op.promoteExt
+	st.appCompleted++
+	lat := st.eng.Now() - op.arrival
+	st.appLat.Record(lat)
+	st.mon.NoteAppDone(lat)
+	st.releaseAppOp(op)
+	if promote {
+		p := st.newReq(block.Promote, ext)
+		p.ParentID = r.ID
+		st.pushSSD(p)
+	}
+}
+
+func (st *Stack) newAppOp(arrival time.Duration) *appOp {
+	var op *appOp
+	if n := len(st.freeAppOps); n > 0 {
+		op = st.freeAppOps[n-1]
+		st.freeAppOps = st.freeAppOps[:n-1]
+	} else {
+		op = &appOp{st: st}
+		op.fn = op.complete
+	}
+	op.arrival = arrival
+	op.legs = 1
+	op.promote = false
+	op.promoteExt = block.Extent{}
+	return op
+}
+
+func (st *Stack) releaseAppOp(op *appOp) {
+	st.freeAppOps = append(st.freeAppOps, op)
+}
+
+// evictOp tracks one dirty-block eviction: the SSD read (Evict) whose
+// completion issues the HDD writeback, and — for background flushes — the
+// writeback completion that cleans the line.
+type evictOp struct {
+	st        *Stack
+	ext       block.Extent
+	blockNum  int64
+	epoch     uint64
+	markClean bool                 // background flush: clean the line when the writeback lands
+	evictFn   func(*block.Request) // bound to evictDone once, at allocation
+	wbFn      func(*block.Request) // bound to wbDone once, at allocation
+}
+
+func (op *evictOp) evictDone(r *block.Request) {
+	st := op.st
+	wb := st.newReq(block.Writeback, op.ext)
+	wb.ParentID = r.ID
+	if op.markClean {
+		wb.OnComplete = op.wbFn
+		st.pushHDD(wb)
+		return // released in wbDone
+	}
+	st.releaseEvictOp(op)
+	st.pushHDD(wb)
+}
+
+func (op *evictOp) wbDone(*block.Request) {
+	st := op.st
+	st.cch.MarkClean(op.blockNum, op.epoch)
+	st.releaseEvictOp(op)
+}
+
+func (st *Stack) newEvictOp(ext block.Extent) *evictOp {
+	var op *evictOp
+	if n := len(st.freeEvictOps); n > 0 {
+		op = st.freeEvictOps[n-1]
+		st.freeEvictOps = st.freeEvictOps[:n-1]
+	} else {
+		op = &evictOp{st: st}
+		op.evictFn = op.evictDone
+		op.wbFn = op.wbDone
+	}
+	op.ext = ext
+	op.blockNum = 0
+	op.epoch = 0
+	op.markClean = false
+	return op
+}
+
+func (st *Stack) releaseEvictOp(op *evictOp) {
+	st.freeEvictOps = append(st.freeEvictOps, op)
+}
+
+// newReq builds a pooled request. Recycled requests return through the
+// device servers' OnRelease hook (recycleReq) after their completion
+// callbacks have run.
+func (st *Stack) newReq(origin block.Origin, ext block.Extent) *block.Request {
+	var r *block.Request
+	if n := len(st.freeReqs); n > 0 {
+		r = st.freeReqs[n-1]
+		st.freeReqs = st.freeReqs[:n-1]
+	} else {
+		r = &block.Request{}
+	}
+	*r = block.Request{ID: st.nextID(), Origin: origin, Extent: ext, Recycle: true}
+	return r
+}
+
+// recycleReq returns a pool-owned request to the free-list. Requests not
+// created by newReq (tests pushing raw requests) are left alone.
+func (st *Stack) recycleReq(r *block.Request) {
+	if !r.Recycle {
+		return
+	}
+	r.Recycle = false
+	r.OnComplete = nil
+	st.freeReqs = append(st.freeReqs, r)
 }
 
 // New assembles a stack for one workload × scheme run. bal may be nil (the
@@ -292,6 +437,10 @@ func New(cfg Config, gen workload.Generator, bal Balancer) *Stack {
 		st.rec.Record(trace.Event{At: eng.Now(), Kind: trace.Dispatched, Dev: trace.HDD,
 			ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
 	})
+	st.ssd.OnRelease(st.recycleReq)
+	st.hdd.OnRelease(st.recycleReq)
+	st.ssdQ.OnRecycle(st.recycleReq)
+	st.hddQ.OnRecycle(st.recycleReq)
 
 	if hot, ok := gen.(interface{ HotBlocks(int) []int64 }); ok && cfg.PrewarmBlocks > 0 {
 		st.cch.Prewarm(hot.HotBlocks(cfg.PrewarmBlocks))
@@ -412,15 +561,12 @@ func (st *Stack) issueVictims(victims []cache.Victim) {
 		if !v.Dirty {
 			continue
 		}
-		ext := st.cch.BlockExtent(v.Block)
-		ev := &block.Request{ID: st.nextID(), Origin: block.Evict, Extent: ext}
-		// Capture ext, not the request's extent: queue merging may widen
+		// The op carries the victim's own extent: queue merging may widen
 		// the head request, and the absorbed requests writeback their own
 		// ranges themselves.
-		ev.OnComplete = func(r *block.Request) {
-			wb := &block.Request{ID: st.nextID(), Origin: block.Writeback, Extent: ext, ParentID: r.ID}
-			st.pushHDD(wb)
-		}
+		op := st.newEvictOp(st.cch.BlockExtent(v.Block))
+		ev := st.newReq(block.Evict, op.ext)
+		ev.OnComplete = op.evictFn
 		st.pushSSD(ev)
 	}
 }
@@ -430,16 +576,10 @@ func (st *Stack) issueVictims(victims []cache.Victim) {
 func (st *Stack) submit(wr workload.Request) {
 	st.appSubmitted++
 	arrival := st.eng.Now()
-
-	done := func() {
-		st.appCompleted++
-		lat := st.eng.Now() - arrival
-		st.appLat.Record(lat)
-		st.mon.NoteAppDone(lat)
-	}
+	op := st.newAppOp(arrival)
 
 	if st.bal != nil && !st.bal.Admit(wr.Op, wr.Extent) {
-		st.bypassAppRequest(wr, done)
+		st.bypassAppRequest(wr, op)
 		return
 	}
 
@@ -448,59 +588,49 @@ func (st *Stack) submit(wr workload.Request) {
 
 	switch {
 	case d.CacheRead:
-		r := &block.Request{ID: st.nextID(), Origin: block.AppRead, Extent: wr.Extent}
-		r.OnComplete = func(*block.Request) { done() }
+		r := st.newReq(block.AppRead, wr.Extent)
+		r.OnComplete = op.fn
 		st.pushSSD(r)
 
 	case d.DiskRead:
-		r := &block.Request{ID: st.nextID(), Origin: block.ReadMiss, Extent: wr.Extent}
-		promote := d.Promote
-		ext := wr.Extent // merging may widen r.Extent; promote only our range
-		r.OnComplete = func(rr *block.Request) {
-			done()
-			if promote {
-				p := &block.Request{ID: st.nextID(), Origin: block.Promote, Extent: ext, ParentID: rr.ID}
-				st.pushSSD(p)
-			}
-		}
+		r := st.newReq(block.ReadMiss, wr.Extent)
+		op.promote = d.Promote
+		op.promoteExt = wr.Extent // merging may widen r.Extent; promote only our range
+		r.OnComplete = op.fn
 		st.pushHDD(r)
 
 	case d.CacheWrite && d.DiskWrite:
 		// Write-through fan-out: the request completes when both legs do.
-		legs := 2
-		leg := func(*block.Request) {
-			legs--
-			if legs == 0 {
-				done()
-			}
-		}
-		cw := &block.Request{ID: st.nextID(), Origin: block.AppWrite, Extent: wr.Extent, Shadowed: true}
-		cw.OnComplete = leg
-		dw := &block.Request{ID: st.nextID(), Origin: block.BypassWrite, Extent: wr.Extent, ParentID: cw.ID}
-		dw.OnComplete = leg
+		op.legs = 2
+		cw := st.newReq(block.AppWrite, wr.Extent)
+		cw.Shadowed = true
+		cw.OnComplete = op.fn
+		dw := st.newReq(block.BypassWrite, wr.Extent)
+		dw.ParentID = cw.ID
+		dw.OnComplete = op.fn
 		st.pushSSD(cw)
 		st.pushHDD(dw)
 
 	case d.CacheWrite:
-		r := &block.Request{ID: st.nextID(), Origin: block.AppWrite, Extent: wr.Extent}
-		r.OnComplete = func(*block.Request) { done() }
+		r := st.newReq(block.AppWrite, wr.Extent)
+		r.OnComplete = op.fn
 		st.pushSSD(r)
 
 	case d.DiskWrite:
-		r := &block.Request{ID: st.nextID(), Origin: block.BypassWrite, Extent: wr.Extent}
-		r.OnComplete = func(*block.Request) { done() }
+		r := st.newReq(block.BypassWrite, wr.Extent)
+		r.OnComplete = op.fn
 		st.pushHDD(r)
 
 	default:
 		// A decision with no transfer cannot happen; complete immediately
 		// so accounting never wedges if a future policy introduces one.
-		done()
+		op.fn(nil)
 	}
 }
 
 // bypassAppRequest routes a request around the cache entirely (balancer
 // admission said no).
-func (st *Stack) bypassAppRequest(wr workload.Request, done func()) {
+func (st *Stack) bypassAppRequest(wr workload.Request, op *appOp) {
 	st.bypassed++
 	st.cch.NoteBypass(wr.Op)
 	origin := block.BypassRead
@@ -509,8 +639,8 @@ func (st *Stack) bypassAppRequest(wr workload.Request, done func()) {
 		// The disk copy becomes the newest data; drop any cached copy.
 		st.cch.Invalidate(wr.Extent)
 	}
-	r := &block.Request{ID: st.nextID(), Origin: origin, Extent: wr.Extent}
-	r.OnComplete = func(*block.Request) { done() }
+	r := st.newReq(origin, wr.Extent)
+	r.OnComplete = op.fn
 	st.rec.Record(trace.Event{At: st.eng.Now(), Kind: trace.Bypassed, Dev: trace.HDD,
 		ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
 	st.pushHDD(r)
@@ -565,6 +695,7 @@ func (st *Stack) RedirectTail(keep int) int {
 				if r.OnComplete != nil {
 					r.OnComplete(r)
 				}
+				st.recycleReq(r)
 				continue
 			}
 			st.cch.Invalidate(r.Extent)
@@ -575,6 +706,7 @@ func (st *Stack) RedirectTail(keep int) int {
 			// Cancel the fill; nothing to transfer anywhere.
 			st.cch.Invalidate(r.Extent)
 			st.cancelled++
+			st.recycleReq(r)
 		case block.AppRead:
 			st.cch.NoteBypass(block.Read)
 			st.bypassed++
@@ -599,14 +731,11 @@ func (st *Stack) flushTick() {
 		return
 	}
 	for _, db := range st.cch.CollectDirty(st.cfg.FlushBatch) {
-		ext := st.cch.BlockExtent(db.Block)
-		blockNum, epoch := db.Block, db.Epoch
-		ev := &block.Request{ID: st.nextID(), Origin: block.Evict, Extent: ext}
-		ev.OnComplete = func(r *block.Request) {
-			wb := &block.Request{ID: st.nextID(), Origin: block.Writeback, Extent: ext, ParentID: r.ID}
-			wb.OnComplete = func(*block.Request) { st.cch.MarkClean(blockNum, epoch) }
-			st.pushHDD(wb)
-		}
+		op := st.newEvictOp(st.cch.BlockExtent(db.Block))
+		op.blockNum, op.epoch = db.Block, db.Epoch
+		op.markClean = true
+		ev := st.newReq(block.Evict, op.ext)
+		ev.OnComplete = op.evictFn
 		st.pushSSD(ev)
 	}
 }
@@ -617,6 +746,24 @@ func (st *Stack) flushTick() {
 // sample.
 func (st *Stack) Run(intervals int) *Results {
 	return st.RunContext(context.Background(), intervals)
+}
+
+// pump parks the generator's next request in pumpReq and schedules the
+// shared arrival closure for it.
+func (st *Stack) pump() {
+	if st.halted() {
+		return
+	}
+	wr, ok := st.gen.Next()
+	if !ok {
+		return
+	}
+	at := wr.At
+	if at < st.eng.Now() {
+		at = st.eng.Now()
+	}
+	st.pumpReq = wr
+	st.eng.At(at, st.pumpFn)
 }
 
 // halted reports whether the run's context has been cancelled. The event
@@ -644,26 +791,17 @@ func (st *Stack) RunContext(ctx context.Context, intervals int) *Results {
 	st.maxTicks = intervals
 	st.ctxDone = ctx.Done() // nil for Background: halted() then never fires
 
-	// Arrival pump: schedule one arrival ahead.
-	var pump func()
-	pump = func() {
-		if st.halted() {
-			return
-		}
-		wr, ok := st.gen.Next()
-		if !ok {
-			return
-		}
-		at := wr.At
-		if at < st.eng.Now() {
-			at = st.eng.Now()
-		}
-		st.eng.At(at, func() {
+	// Arrival pump: schedule one arrival ahead. A single reused closure
+	// fires every arrival; the next request parks in pumpReq (only one
+	// arrival event is ever outstanding, so the slot cannot be clobbered).
+	if st.pumpFn == nil {
+		st.pumpFn = func() {
+			wr := st.pumpReq
 			st.submit(wr)
-			pump()
-		})
+			st.pump()
+		}
 	}
-	pump()
+	st.pump()
 
 	// Monitor tick chain.
 	var tick func()

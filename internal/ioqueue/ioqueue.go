@@ -15,10 +15,44 @@ import (
 	"lbica/internal/block"
 )
 
-// node is a doubly-linked queue entry.
+// node is a doubly-linked queue entry. Nodes are recycled through a
+// per-queue free-list (chained on next), so steady-state Push/Pop
+// allocates nothing.
 type node struct {
 	req        *block.Request
 	prev, next *node
+}
+
+// chain is one pooled merge-completion link: when a merged head finishes,
+// run propagates the completion to the absorbed request. Pooling the links
+// (with a pre-bound method value) keeps merge-heavy workloads from
+// allocating a closure per absorbed request.
+type chain struct {
+	q        *Queue
+	prev     func(*block.Request)
+	absorbed *block.Request
+	fn       func(*block.Request) // bound to run once, at pool insertion
+}
+
+func (c *chain) run(head *block.Request) {
+	prev, absorbed := c.prev, c.absorbed
+	c.prev, c.absorbed = nil, nil
+	q := c.q
+	if prev != nil {
+		prev(head)
+	}
+	absorbed.Dispatch = head.Dispatch
+	absorbed.Complete = head.Complete
+	absorbed.Merged = head.Merged
+	if absorbed.OnComplete != nil {
+		absorbed.OnComplete(absorbed)
+	}
+	if q.recycle != nil {
+		// Absorbed requests never reach a device server, so the server-side
+		// release hook cannot recycle them; this is their pool return.
+		q.recycle(absorbed)
+	}
+	q.freeChains = append(q.freeChains, c)
 }
 
 // Queue is a single device's pending-request queue. The zero value is not
@@ -28,6 +62,13 @@ type Queue struct {
 
 	head, tail *node
 	size       int
+
+	// Recycling pools: spent list nodes (chained on next) and merge-chain
+	// links. recycle, when set, receives requests the queue finished with
+	// internally (merged-away requests after their completion ran).
+	freeNodes  *node
+	freeChains []*chain
+	recycle    func(*block.Request)
 
 	census block.Census
 
@@ -105,6 +146,12 @@ func New(name string, opts ...Option) *Queue {
 // Name returns the queue's name.
 func (q *Queue) Name() string { return q.name }
 
+// OnRecycle registers a hook receiving requests the queue is finished with
+// internally — an absorbed (merged-away) request after its chained
+// completion has run. Request pools use it to reclaim requests that never
+// reach a device server.
+func (q *Queue) OnRecycle(fn func(*block.Request)) { q.recycle = fn }
+
 // Depth returns the number of pending requests.
 func (q *Queue) Depth() int { return q.size }
 
@@ -150,7 +197,7 @@ func (q *Queue) Push(r *block.Request, now time.Duration) (merged bool) {
 			return true
 		}
 	}
-	n := &node{req: r}
+	n := q.getNode(r)
 	if q.tail == nil {
 		q.head, q.tail = n, n
 	} else {
@@ -190,21 +237,46 @@ func (q *Queue) absorb(n *node, r *block.Request, back bool) {
 	n.req.Merged += r.Merged + 1
 	// Chain completion: when the merged head finishes, the absorbed request
 	// finishes too, with its own Submit preserved for latency accounting.
-	prev := n.req.OnComplete
-	absorbed := r
-	n.req.OnComplete = func(head *block.Request) {
-		if prev != nil {
-			prev(head)
-		}
-		absorbed.Dispatch = head.Dispatch
-		absorbed.Complete = head.Complete
-		absorbed.Merged = head.Merged
-		if absorbed.OnComplete != nil {
-			absorbed.OnComplete(absorbed)
-		}
-	}
+	c := q.getChain()
+	c.prev = n.req.OnComplete
+	c.absorbed = r
+	n.req.OnComplete = c.fn
 	q.index(n)
 	_ = back
+}
+
+// getChain pops a pooled merge-chain link, allocating (and binding its
+// method value once) on pool miss.
+func (q *Queue) getChain() *chain {
+	if n := len(q.freeChains); n > 0 {
+		c := q.freeChains[n-1]
+		q.freeChains = q.freeChains[:n-1]
+		return c
+	}
+	c := &chain{q: q}
+	c.fn = c.run
+	return c
+}
+
+// getNode pops a pooled list node, allocating on pool miss.
+func (q *Queue) getNode(r *block.Request) *node {
+	n := q.freeNodes
+	if n == nil {
+		return &node{req: r}
+	}
+	q.freeNodes = n.next
+	n.req = r
+	n.prev, n.next = nil, nil
+	return n
+}
+
+// putNode returns a detached node to the free-list, dropping its request
+// reference.
+func (q *Queue) putNode(n *node) {
+	n.req = nil
+	n.prev = nil
+	n.next = q.freeNodes
+	q.freeNodes = n
 }
 
 func (q *Queue) index(n *node) {
@@ -231,12 +303,14 @@ func (q *Queue) Pop() *block.Request {
 	if q.discipline == LookDispatch {
 		n = q.lookNext()
 	}
+	r := n.req
 	q.remove(n)
+	q.putNode(n)
 	q.popped++
 	if q.discipline == LookDispatch {
-		q.headPos = n.req.Extent.End()
+		q.headPos = r.Extent.End()
 	}
-	return n.req
+	return r
 }
 
 // lookNext implements LOOK: the nearest request at or past the head
@@ -320,9 +394,11 @@ func (q *Queue) Extract(pred func(pos int, r *block.Request) bool) []*block.Requ
 	for n := q.head; n != nil; {
 		next := n.next
 		if pred(pos, n.req) {
+			r := n.req
 			q.remove(n)
+			q.putNode(n)
 			q.bypassed++
-			out = append(out, n.req)
+			out = append(out, r)
 		}
 		pos++
 		n = next

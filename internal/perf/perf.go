@@ -1,0 +1,187 @@
+// Package perf defines the hot-path benchmark suite behind `lbicabench
+// -perf`: the same microbenchmarks the per-package Benchmark* functions
+// run, packaged as a programmatic suite with machine-readable results, so
+// before/after artifacts (BENCH_hotpath.json) can be regenerated with one
+// command instead of scraping `go test -bench` output.
+package perf
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"lbica/internal/block"
+	"lbica/internal/cache"
+	"lbica/internal/experiments"
+	"lbica/internal/ioqueue"
+	"lbica/internal/sim"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the full machine-readable artifact.
+type Report struct {
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	GoVersion string   `json:"go_version"`
+	Intervals int      `json:"matrix_intervals"` // 0 = paper scale
+	Results   []Result `json:"results"`
+}
+
+// Bench is one named suite entry.
+type Bench struct {
+	Name string
+	Fn   func(b *testing.B)
+}
+
+// Suite returns the hot-path benchmarks. intervals overrides the
+// end-to-end matrix scale (0 = paper scale). The Bench* functions are
+// exported so the per-package Benchmark* wrappers (`go test -bench`) run
+// the exact same bodies as `lbicabench -perf` — one implementation, two
+// entry points.
+func Suite(intervals int) []Bench {
+	return []Bench{
+		{"kernel/schedule-fire", BenchKernelScheduleFire},
+		{"kernel/schedule-cancel", BenchKernelScheduleCancel},
+		{"cache/read-hit", BenchCacheReadHit},
+		{"cache/miss-evict", BenchCacheMissEvict},
+		{"queue/push-pop", BenchQueuePushPop},
+		{"queue/merge", BenchQueueMerge},
+		{"matrix/serial", func(b *testing.B) { BenchMatrixSerial(b, intervals) }},
+	}
+}
+
+// Run executes every suite benchmark whose name contains filter (empty =
+// all) and returns the report.
+func Run(filter string, intervals int) Report {
+	rep := Report{
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		GoVersion: runtime.Version(),
+		Intervals: intervals,
+	}
+	for _, bm := range Suite(intervals) {
+		if filter != "" && !strings.Contains(bm.Name, filter) {
+			continue
+		}
+		r := testing.Benchmark(bm.Fn)
+		rep.Results = append(rep.Results, Result{
+			Name:        bm.Name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+	return rep
+}
+
+// BenchKernelScheduleFire measures steady-state schedule+fire.
+func BenchKernelScheduleFire(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e.After(time.Duration(i%100), func() {})
+		if e.Pending() > 1024 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}
+
+// BenchKernelScheduleCancel measures the cancel-heavy path.
+func BenchKernelScheduleCancel(b *testing.B) {
+	e := sim.NewEngine()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ev := e.After(time.Duration(i%100), func() {})
+		ev.Cancel()
+		if i%1024 == 1023 {
+			e.RunUntilIdle()
+		}
+	}
+	e.RunUntilIdle()
+}
+
+// BenchCacheReadHit measures the hot all-hit probe.
+func BenchCacheReadHit(b *testing.B) {
+	c := cache.New(cache.Config{BlockSectors: 8, Sets: 1024, Ways: 8})
+	for i := int64(0); i < 1024; i++ {
+		c.Prewarm([]int64{i})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := int64(i) % 1024
+		c.Access(block.Read, block.Extent{LBA: n * 8, Sectors: 8}, time.Duration(i))
+	}
+}
+
+// BenchCacheMissEvict measures the miss+allocate+evict worst path.
+func BenchCacheMissEvict(b *testing.B) {
+	c := cache.New(cache.Config{BlockSectors: 8, Sets: 1024, Ways: 8})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(block.Read, block.Extent{LBA: int64(i) * 8, Sectors: 8}, time.Duration(i))
+	}
+}
+
+// BenchQueuePushPop measures unmergeable push/pop churn.
+func BenchQueuePushPop(b *testing.B) {
+	q := ioqueue.New("bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := &block.Request{ID: uint64(i), Origin: block.AppRead,
+			Extent: block.Extent{LBA: int64(i) * 4096, Sectors: 8}}
+		q.Push(r, 0)
+		if q.Depth() >= 64 {
+			for q.Pop() != nil {
+			}
+		}
+	}
+}
+
+// BenchQueueMerge measures sequential-stream back-merging.
+func BenchQueueMerge(b *testing.B) {
+	q := ioqueue.New("bench", ioqueue.WithMaxMergeSectors(64*8))
+	var next int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%64 == 0 {
+			for q.Pop() != nil {
+			}
+			next = int64(i) * 1024
+		}
+		r := &block.Request{ID: uint64(i), Origin: block.AppWrite,
+			Extent: block.Extent{LBA: next, Sectors: 8}}
+		next += 8
+		q.Push(r, 0)
+	}
+}
+
+// BenchMatrixSerial runs the full paper matrix serially (0 = paper scale).
+func BenchMatrixSerial(b *testing.B, intervals int) {
+	for i := 0; i < b.N; i++ {
+		specs := experiments.MatrixSpecs(1, 1)
+		for j := range specs {
+			specs[j].Intervals = intervals
+		}
+		if _, err := experiments.RunSpecs(context.Background(), specs, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package perf
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRunFiltered(t *testing.T) {
+	rep := Run("cache", 2)
+	if len(rep.Results) != 2 {
+		t.Fatalf("filter \"cache\" matched %d benchmarks, want 2", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if !strings.Contains(r.Name, "cache") {
+			t.Errorf("filter leaked %q", r.Name)
+		}
+		if r.Iterations <= 0 || r.NsPerOp <= 0 {
+			t.Errorf("%s: degenerate measurement %+v", r.Name, r)
+		}
+	}
+	if rep.GOOS == "" || rep.GoVersion == "" {
+		t.Errorf("environment not recorded: %+v", rep)
+	}
+}
+
+func TestSuiteNamesUniqueAndReportSerializes(t *testing.T) {
+	seen := map[string]bool{}
+	for _, b := range Suite(0) {
+		if seen[b.Name] {
+			t.Errorf("duplicate benchmark name %q", b.Name)
+		}
+		seen[b.Name] = true
+		if b.Fn == nil {
+			t.Errorf("%s has nil Fn", b.Name)
+		}
+	}
+	rep := Run("schedule-cancel", 1)
+	out, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(out, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Results) != len(rep.Results) {
+		t.Fatal("report does not round-trip")
+	}
+}

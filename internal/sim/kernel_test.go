@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEvent / refHeap are a reference kernel built on container/heap with the
+// pre-arena semantics: (time, seq) ordering, lazy cancellation. The property
+// tests below drive it in lockstep with the arena kernel and require the
+// fire order to match exactly.
+type refEvent struct {
+	at   time.Duration
+	seq  uint64
+	id   int
+	dead bool
+}
+
+type refHeap []*refEvent
+
+func (h refHeap) Len() int { return len(h) }
+func (h refHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h refHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)     { *h = append(*h, x.(*refEvent)) }
+func (h *refHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h refHeap) peek() *refEvent { return h[0] }
+func (h refHeap) empty() bool     { return len(h) == 0 }
+
+// refKernel mirrors Engine's observable behavior.
+type refKernel struct {
+	now   time.Duration
+	seq   uint64
+	queue refHeap
+	fired []int
+}
+
+func (k *refKernel) at(t time.Duration, id int) *refEvent {
+	e := &refEvent{at: t, seq: k.seq, id: id}
+	k.seq++
+	heap.Push(&k.queue, e)
+	return e
+}
+
+func (k *refKernel) run(horizon time.Duration) {
+	for !k.queue.empty() {
+		next := k.queue.peek()
+		if next.dead {
+			heap.Pop(&k.queue)
+			continue
+		}
+		if horizon > 0 && next.at > horizon {
+			k.now = horizon
+			return
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		k.fired = append(k.fired, next.id)
+	}
+	if horizon > 0 && k.now < horizon {
+		k.now = horizon
+	}
+}
+
+// TestKernelMatchesReferenceModel drives randomized schedule / cancel /
+// partial-run sequences (fixed seeds) through the arena kernel and the
+// container/heap reference in lockstep, and requires identical fire order,
+// identical clocks, and identical live-event counts throughout. This is the
+// guard that arena slot reuse and dead-event reaping never change the
+// (time, seq) determinism contract.
+func TestKernelMatchesReferenceModel(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		eng := NewEngine()
+		ref := &refKernel{}
+		var engFired []int
+
+		type livePair struct {
+			ev  Event
+			ref *refEvent
+		}
+		var live []livePair
+		nextID := 0
+
+		for step := 0; step < 4000; step++ {
+			switch r := rng.Float64(); {
+			case r < 0.55: // schedule
+				d := time.Duration(rng.Intn(1000))
+				id := nextID
+				nextID++
+				ev := eng.At(eng.Now()+d, func() { engFired = append(engFired, id) })
+				re := ref.at(ref.now+d, id)
+				if ev.Time() != re.at {
+					t.Fatalf("seed %d: handle time %v != ref %v", seed, ev.Time(), re.at)
+				}
+				live = append(live, livePair{ev, re})
+			case r < 0.80: // cancel a random outstanding handle (maybe stale)
+				if len(live) == 0 {
+					continue
+				}
+				i := rng.Intn(len(live))
+				live[i].ev.Cancel()
+				live[i].ref.dead = true
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+			default: // partial run to a random horizon
+				h := eng.Now() + time.Duration(rng.Intn(500))
+				eng.Run(h)
+				ref.run(h)
+				if eng.Now() != ref.now {
+					t.Fatalf("seed %d step %d: clock %v != ref %v", seed, step, eng.Now(), ref.now)
+				}
+			}
+		}
+		eng.RunUntilIdle()
+		ref.run(0)
+
+		if eng.Now() != ref.now {
+			t.Fatalf("seed %d: final clock %v != ref %v", seed, eng.Now(), ref.now)
+		}
+		if len(engFired) != len(ref.fired) {
+			t.Fatalf("seed %d: fired %d events, ref fired %d", seed, len(engFired), len(ref.fired))
+		}
+		for i := range engFired {
+			if engFired[i] != ref.fired[i] {
+				t.Fatalf("seed %d: fire order diverges at %d: got id %d, ref id %d",
+					seed, i, engFired[i], ref.fired[i])
+			}
+		}
+		if eng.Pending() != 0 {
+			t.Fatalf("seed %d: %d events still pending after drain", seed, eng.Pending())
+		}
+	}
+}
+
+// TestKernelReuseUnderChurn hammers the free-list: interleaved bursts of
+// scheduling and draining must recycle slots without ever firing out of
+// order or firing a cancelled event.
+func TestKernelReuseUnderChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	eng := NewEngine()
+	var lastAt time.Duration
+	cancelled := make(map[int]bool)
+	fired := 0
+	for round := 0; round < 200; round++ {
+		var evs []Event
+		ids := make([]int, 0, 32)
+		for i := 0; i < 32; i++ {
+			id := round*32 + i
+			at := eng.Now() + time.Duration(rng.Intn(100))
+			evs = append(evs, eng.At(at, func() {
+				if cancelled[id] {
+					t.Errorf("cancelled event %d fired", id)
+				}
+				if eng.Now() < lastAt {
+					t.Errorf("clock ran backwards: %v after %v", eng.Now(), lastAt)
+				}
+				lastAt = eng.Now()
+				fired++
+			}))
+			ids = append(ids, id)
+		}
+		for i, ev := range evs {
+			if rng.Intn(3) == 0 {
+				ev.Cancel()
+				cancelled[ids[i]] = true
+			}
+		}
+		if round%4 == 3 {
+			eng.RunUntilIdle()
+		}
+	}
+	eng.RunUntilIdle()
+	if fired == 0 || eng.Pending() != 0 {
+		t.Fatalf("fired=%d pending=%d", fired, eng.Pending())
+	}
+	if uint64(fired) != eng.Fired() {
+		t.Fatalf("fired %d != engine count %d", fired, eng.Fired())
+	}
+}

@@ -275,15 +275,3 @@ func TestUniformDegenerate(t *testing.T) {
 		t.Error("degenerate uniform must return Lo")
 	}
 }
-
-func BenchmarkEngineScheduleFire(b *testing.B) {
-	e := NewEngine()
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		e.After(time.Duration(i%100), func() {})
-		if e.Pending() > 1024 {
-			e.RunUntilIdle()
-		}
-	}
-	e.RunUntilIdle()
-}
