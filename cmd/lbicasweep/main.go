@@ -33,6 +33,17 @@
 // coarse but fast preview), serial baseline for determinism checks:
 //
 //	lbicasweep -intervals 20 -workers 1
+//
+// Beyond the paper trio, -workload accepts any workload-catalog name —
+// synthetic primitives (synth-randread, synth-seqwrite, ...), Zipf-
+// parameterized variants (synth-randread-zipf1.2) and the burst-mix
+// family whose ON-rate multiple, duty cycle and read ratio ride in the
+// name (burst-mix-hi, burst-mix-on6x-duty0.45-read0.35). -burst-mult adds
+// the burst-intensity axis (scaling every bursting phase's ON rate and
+// duty cycle), and -series-dir exports each cell's per-interval timeline:
+//
+//	lbicasweep -workload synth-randread-zipf1.2,burst-mix-hi \
+//	    -burst-mult 0.5,1,2 -series-dir out/
 package main
 
 import (
@@ -49,6 +60,7 @@ import (
 
 	"lbica"
 	"lbica/internal/cli"
+	"lbica/internal/experiments"
 )
 
 func main() { cli.Main("lbicasweep", run) }
@@ -89,11 +101,17 @@ func splitFloats(s string) ([]float64, error) {
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbicasweep", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	names, patterns := experiments.WorkloadCatalog()
+	workloadHelp := "comma list of workload-catalog names (empty = the paper trio): " +
+		strings.Join(names, ",") + "; families: " + strings.Join(patterns, ", ")
+	var workloads string
+	fs.StringVar(&workloads, "workloads", "", workloadHelp)
+	fs.StringVar(&workloads, "workload", "", "alias for -workloads")
 	var (
-		workloads  = fs.String("workloads", "", "comma list of workloads: tpcc,mail,web (empty = all)")
 		schemes    = fs.String("schemes", "", "comma list of schemes: wb,sib,lbica (empty = all)")
 		cacheMult  = fs.String("cache-mult", "1", "comma list of cache-size multipliers (1 = the paper's 256 MiB)")
 		rate       = fs.String("rate", "1", "comma list of workload IOPS scale factors")
+		burstMult  = fs.String("burst-mult", "1", "comma list of burst-intensity multipliers scaling every bursting phase's ON rate and duty cycle (1 = the published burst shapes)")
 		seeds      = fs.Int("seeds", 1, "seed replicates per cell (replicate seeds derive from -seed)")
 		seed       = fs.Int64("seed", 1, "base random seed")
 		intervals  = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
@@ -101,6 +119,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		format     = fs.String("format", "text", "stdout format: text|csv|json")
 		out        = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
+		seriesDir  = fs.String("series-dir", "", "write each cell's per-interval series (cache/disk load, hit ratio, group, policy) as one CSV into this directory")
 		quiet      = fs.Bool("q", false, "suppress the progress log on stderr")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (post-sweep) to this file")
@@ -133,18 +152,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stderr, "lbicasweep: -rate:", err)
 		return cli.ErrUsage
 	}
+	bursts, err := splitFloats(*burstMult)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbicasweep: -burst-mult:", err)
+		return cli.ErrUsage
+	}
 
 	grid := lbica.GridSpec{
-		Workloads:      splitList(*workloads),
+		Workloads:      splitList(workloads),
 		Schemes:        splitList(*schemes),
 		CacheMults:     mults,
 		RateFactors:    rates,
+		BurstMults:     bursts,
 		SeedReplicates: *seeds,
 		Seed:           *seed,
 		Intervals:      *intervals,
 		IntervalLength: *interval,
 	}
-	opt := lbica.SweepOptions{Workers: *workers}
+	opt := lbica.SweepOptions{Workers: *workers, SeriesDir: *seriesDir}
 	start := time.Now()
 	if !*quiet {
 		opt.OnProgress = func(done, total int) {
@@ -180,7 +205,31 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// corrupt.
 		outErr = writeArtifacts(*out, res, stderr)
 	}
+	if *seriesDir != "" {
+		// Count what actually landed on disk: the export can fail (bad
+		// path, full disk) with its error folded into runErr, and claiming
+		// res.Completed files were written would contradict that error.
+		if n := countSeriesFiles(*seriesDir); n > 0 {
+			fmt.Fprintf(stderr, "wrote %d per-interval series files into %s\n", n, *seriesDir)
+		}
+	}
 	return errors.Join(runErr, emitErr, outErr)
+}
+
+// countSeriesFiles returns how many exported series CSVs dir holds (0 on
+// any read error).
+func countSeriesFiles(dir string) int {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), "series_") && strings.HasSuffix(e.Name(), ".csv") {
+			n++
+		}
+	}
+	return n
 }
 
 // writeArtifacts drops the machine-readable outputs into dir, logging

@@ -111,11 +111,72 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-format", "xml"},
 		{"-cache-mult", "a,b"},
 		{"-rate", "1,,nope"},
+		{"-burst-mult", "2x"},
 	} {
 		var out, errBuf strings.Builder
 		if err := run(t.Context(), args, &out, &errBuf); !errors.Is(err, cli.ErrUsage) {
 			t.Errorf("%v returned %v, want cli.ErrUsage", args, err)
 		}
+	}
+}
+
+// TestRunRejectsSilentClampCandidates: values that earlier versions
+// silently rewrote to defaults (negative interval counts, lengths and
+// replicate counts, zero multipliers) must now surface as errors.
+func TestRunRejectsSilentClampCandidates(t *testing.T) {
+	for _, args := range [][]string{
+		{"-intervals", "-5"},
+		{"-interval", "-1s"},
+		{"-seeds", "-2"},
+		{"-rate", "0"},
+		{"-burst-mult", "0"},
+		{"-burst-mult", "-1"},
+		{"-cache-mult", "0"},
+	} {
+		var out, errBuf strings.Builder
+		err := run(t.Context(), append(append([]string{}, args...), "-q"), &out, &errBuf)
+		if err == nil {
+			t.Errorf("%v ran instead of erroring", args)
+		}
+		if out.Len() != 0 {
+			t.Errorf("%v produced a report despite the invalid axis:\n%s", args, out.String())
+		}
+	}
+}
+
+// TestRunSeriesDirSmoke: the -series-dir flag writes one parseable
+// per-interval CSV per run of a tiny grid, and -workload (the singular
+// alias) accepts catalog names with a burst axis.
+func TestRunSeriesDirSmoke(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "series")
+	var out, errBuf strings.Builder
+	args := []string{"-workload", "burst-mix-hi", "-schemes", "wb,lbica",
+		"-burst-mult", "1,2", "-intervals", "4", "-series-dir", dir, "-q"}
+	if err := run(t.Context(), args, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 4 { // 1 workload × 2 schemes × 2 bursts × 1 seed
+		t.Fatalf("got %d series files, want 4", len(ents))
+	}
+	for _, e := range ents {
+		b, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(string(b), "\n"), "\n")
+		if !strings.HasPrefix(lines[0], "interval,cache_load_us,disk_load_us,hit_ratio,group,policy") {
+			t.Errorf("%s: unexpected header %q", e.Name(), lines[0])
+		}
+		if len(lines)-1 != 4 {
+			t.Errorf("%s: %d data rows, want the 4 intervals", e.Name(), len(lines)-1)
+		}
+	}
+	if !strings.Contains(out.String(), "burst×") {
+		t.Errorf("burst-axis report missing the burst column:\n%s", out.String())
 	}
 }
 

@@ -1,10 +1,12 @@
 // Sweep: the scenario-robustness question the paper's fixed 3×3 matrix
 // cannot answer — do LBICA's gains survive when the cache is half the
-// size, the arrival rate 20% hotter, and the seed different? One
-// declarative grid replaces the hand-rolled loops of examples/capacity:
-// expansion, parallel execution, per-cell aggregation (mean/min/max
-// max-queue-time across seed replicates) and speedups come from
-// lbica.Sweep.
+// size, the arrival rate 20% hotter, the bursts twice as intense, and
+// the seed different? One declarative grid replaces the hand-rolled
+// loops of examples/capacity: expansion, parallel execution, per-cell
+// aggregation (mean/min/max max-queue-time across seed replicates) and
+// speedups come from lbica.Sweep. Workloads beyond the paper trio come
+// from the catalog — try Workloads: []string{"burst-mix-hi"} or a
+// parameterized name like "synth-randread-zipf1.2".
 //
 //	go run ./examples/sweep
 package main
@@ -23,6 +25,7 @@ func main() {
 		// Empty Workloads/Schemes axes mean "all of the paper's".
 		CacheMults:     []float64{0.5, 1},
 		RateFactors:    []float64{1, 1.2},
+		BurstMults:     []float64{1, 2},
 		SeedReplicates: 2,
 		Seed:           7,
 		Intervals:      40, // a fast preview; the paper runs 200
@@ -53,7 +56,7 @@ func main() {
 		log.Fatal(err)
 	}
 	if found {
-		fmt.Printf("\nweakest LBICA scenario: %s at cache ×%g, rate ×%g — still %.2f× vs WB\n",
-			worst.Workload, worst.CacheMult, worst.RateFactor, worst.SpeedupVsWB)
+		fmt.Printf("\nweakest LBICA scenario: %s at cache ×%g, rate ×%g, burst ×%g — still %.2f× vs WB\n",
+			worst.Workload, worst.CacheMult, worst.RateFactor, worst.BurstMult, worst.SpeedupVsWB)
 	}
 }

@@ -123,6 +123,13 @@ type Results struct {
 	Samples  []iostat.Sample
 	Timeline []PolicyChange
 
+	// CacheStatsAt holds a cumulative cache.Stats snapshot taken as each
+	// monitor interval closed, parallel to Samples; per-interval deltas
+	// (e.g. the series exporter's per-interval hit ratio) come from
+	// adjacent snapshots. Taken before any balancer reacts to the same
+	// interval close, so the snapshot reflects the interval exactly.
+	CacheStatsAt []cache.Stats
+
 	// End-to-end application latency across the whole run.
 	AppLatency *stats.Histogram
 
@@ -208,6 +215,7 @@ type Stack struct {
 	hddWrSectors int64
 	appLat       *stats.Histogram
 	timeline     []PolicyChange
+	cacheStatsAt []cache.Stats
 
 	ssdLatency time.Duration
 	hddLatency time.Duration
@@ -441,6 +449,14 @@ func New(cfg Config, gen workload.Generator, bal Balancer) *Stack {
 	st.hdd.OnRelease(st.recycleReq)
 	st.ssdQ.OnRecycle(st.recycleReq)
 	st.hddQ.OnRecycle(st.recycleReq)
+
+	// Snapshot cumulative cache stats at every interval close, before any
+	// balancer (attached below, so registered after) reacts to the same
+	// close — per-interval deltas between snapshots are what the sweep's
+	// series exporter turns into a hit-ratio timeline.
+	st.mon.OnClose(func(iostat.Sample) {
+		st.cacheStatsAt = append(st.cacheStatsAt, st.cch.Stats())
+	})
 
 	if hot, ok := gen.(interface{ HotBlocks(int) []int64 }); ok && cfg.PrewarmBlocks > 0 {
 		st.cch.Prewarm(hot.HotBlocks(cfg.PrewarmBlocks))
@@ -858,6 +874,7 @@ func (st *Stack) RunContext(ctx context.Context, intervals int) *Results {
 		Scheme:            st.schemeName(),
 		Samples:           st.mon.Samples(),
 		Timeline:          st.timeline,
+		CacheStatsAt:      st.cacheStatsAt,
 		AppLatency:        st.appLat,
 		AppSubmitted:      st.appSubmitted,
 		AppCompleted:      st.appCompleted,

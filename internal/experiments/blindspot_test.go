@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"lbica/internal/sim"
+)
+
+// TestDetectorBlindSpotShortTPCCHalfCache pins a known calibration blind
+// spot recorded with the first sweep figures (CHANGES.md, PR 2): TPC-C at
+// half the paper's cache size and only 50 intervals never trips the burst
+// detector, so LBICA makes no policy decision and tracks the WB baseline
+// at 1.00×. The paper-length run (200 intervals) does trigger. This test
+// exists so any future change to core.Thresholds (or the detector's
+// comparison) that opens or widens the blind spot surfaces visibly — if
+// it starts triggering, the test fails and the CHANGES.md narrative (and
+// any calibration notes built on it) must be updated deliberately.
+// The blind spot is seed-sensitive (raw seed 1 happens to trip the
+// detector once), so the test pins the exact seeds the recorded sweep
+// used: the replicate streams sim.Stream(1, 0) and sim.Stream(1, 1) of
+// `lbicasweep -seeds 2`.
+func TestDetectorBlindSpotShortTPCCHalfCache(t *testing.T) {
+	if testing.Short() {
+		t.Skip("four 50-interval runs are beyond the -short budget")
+	}
+	for rep := 0; rep < 2; rep++ {
+		seed := sim.Stream(1, rep)
+		spec := Spec{Workload: WorkloadTPCC, Scheme: SchemeLBICA, CacheMult: 0.5, Intervals: 50, Seed: seed}
+		lb := Run(spec)
+		if flips := len(lb.Timeline); flips != 0 {
+			t.Fatalf("replicate %d: LBICA made %d policy decisions at 50 intervals / 0.5× cache; the blind spot has closed — update CHANGES.md and this regression", rep, flips)
+		}
+		spec.Scheme = SchemeWB
+		wb := Run(spec)
+		lbLat, wbLat := float64(lb.AppLatency.Mean()), float64(wb.AppLatency.Mean())
+		if wbLat == 0 {
+			t.Fatal("WB baseline completed no requests")
+		}
+		if ratio := wbLat / lbLat; math.Abs(ratio-1) > 0.01 {
+			t.Errorf("replicate %d: latency speedup vs WB = %.3f×, want 1.00× (no decision → identical behavior)", rep, ratio)
+		}
+	}
+}

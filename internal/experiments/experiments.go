@@ -58,28 +58,56 @@ type Spec struct {
 	// untouched, so Eq. 1 queue dynamics per set are preserved). Defaults
 	// to 1; the prewarm volume tracks the scaled capacity.
 	CacheMult float64
+	// BurstMult scales every bursting phase's ON-rate and ON/OFF duty
+	// cycle (workload.Scale.BurstMult). Defaults to 1, the workload's
+	// published burst shape.
+	BurstMult float64
 }
 
-// Normalize fills defaulted fields in place and returns the result.
+// Normalize fills defaulted fields in place and returns the result. Only
+// the zero value of a field means "use the default": negative scalars are
+// a caller bug (specs are code — user-supplied values are validated by the
+// sweep grid and the CLIs before a Spec is built), and silently clamping
+// them to the default would run a different experiment than the one the
+// spec labels, so Normalize panics on them instead.
 func (s Spec) Normalize() Spec {
+	if s.Intervals < 0 || s.Interval < 0 || s.RateFactor < 0 || s.CacheMult < 0 || s.BurstMult < 0 {
+		panic(fmt.Sprintf("experiments: negative Spec field (%+v); zero means default, negatives are invalid", s))
+	}
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
-	// <= 0, matching lbica.Options: a negative count would otherwise run
-	// the full request stream while sampling a single degenerate interval.
-	if s.Intervals <= 0 {
+	if s.Intervals == 0 {
 		s.Intervals = PaperIntervals(s.Workload)
 	}
-	if s.Interval <= 0 {
+	if s.Interval == 0 {
 		s.Interval = 200 * time.Millisecond
 	}
-	if s.RateFactor <= 0 {
+	if s.RateFactor == 0 {
 		s.RateFactor = 1
 	}
-	if s.CacheMult <= 0 {
+	if s.CacheMult == 0 {
 		s.CacheMult = 1
 	}
+	if s.BurstMult == 0 {
+		s.BurstMult = 1
+	}
 	return s
+}
+
+// ValidateWorkload reports whether name resolves in the workload catalog
+// (the paper trio plus the synthetic and burst-mix families) — the
+// non-panicking twin of NewGenerator's lookup, for validating user input
+// such as sweep axes and CLI flags.
+func ValidateWorkload(name string) error {
+	_, err := workload.Default.Resolve(name)
+	return err
+}
+
+// WorkloadCatalog returns the exact catalog names and the parameterized
+// family patterns, for CLI help text.
+func WorkloadCatalog() (names, patterns []string) {
+	return workload.Default.Names(), workload.Default.Patterns()
 }
 
 // PaperIntervals returns the interval count the paper plots for a
@@ -91,21 +119,24 @@ func PaperIntervals(wl string) int {
 	return 200
 }
 
-// NewGenerator builds the named workload generator. It panics on unknown
-// names: specs are code, not user input.
-func NewGenerator(spec Spec) *workload.PhaseGen {
-	scale := workload.Scale{Interval: spec.Interval, Intervals: spec.Intervals, RateFactor: spec.RateFactor}
-	g := sim.NewRNG(spec.Seed, "workload:"+spec.Workload)
-	switch spec.Workload {
-	case WorkloadTPCC:
-		return workload.TPCC(scale, g)
-	case WorkloadMail:
-		return workload.MailServer(scale, g)
-	case WorkloadWeb:
-		return workload.WebServer(scale, g)
-	default:
-		panic(fmt.Sprintf("experiments: unknown workload %q", spec.Workload))
+// NewGenerator builds the named workload generator by resolving
+// spec.Workload through the catalog (workload.Default): the paper trio,
+// the synthetic entries, and the parameterized synth/burst-mix families
+// all come through here. It panics on unknown names: specs are code, not
+// user input — validate names from users with ValidateWorkload first.
+func NewGenerator(spec Spec) workload.Generator {
+	scale := workload.Scale{
+		Interval:   spec.Interval,
+		Intervals:  spec.Intervals,
+		RateFactor: spec.RateFactor,
+		BurstMult:  spec.BurstMult,
 	}
+	g := sim.NewRNG(spec.Seed, "workload:"+spec.Workload)
+	b, err := workload.Default.Resolve(spec.Workload)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return b(scale, g)
 }
 
 // NewBalancer builds the scheme's balancer (nil for the WB baseline).

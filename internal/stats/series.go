@@ -96,6 +96,16 @@ func (ss *SeriesSet) Names() []string {
 // WriteCSV emits "interval,<name1>,<name2>,..." rows. Intervals are the
 // union across series; missing values render empty.
 func (ss *SeriesSet) WriteCSV(w io.Writer) error {
+	return ss.WriteCSVWith(w, nil, nil)
+}
+
+// WriteCSVWith is WriteCSV with extra trailing columns: extraCols names
+// them and extra(interval) supplies their values per row — the hook that
+// lets callers interleave categorical columns (a balancer's group/policy
+// timeline, say) with the numeric series without reimplementing the
+// writer. Both may be nil. Extra values are emitted verbatim, so they
+// must not contain CSV metacharacters.
+func (ss *SeriesSet) WriteCSVWith(w io.Writer, extraCols []string, extra func(interval int) []string) error {
 	intervals := map[int]bool{}
 	for _, name := range ss.order {
 		for _, p := range ss.series[name].Points {
@@ -109,6 +119,7 @@ func (ss *SeriesSet) WriteCSV(w io.Writer) error {
 	sort.Ints(keys)
 
 	header := append([]string{"interval"}, ss.order...)
+	header = append(header, extraCols...)
 	if _, err := fmt.Fprintln(w, strings.Join(header, ",")); err != nil {
 		return err
 	}
@@ -130,6 +141,9 @@ func (ss *SeriesSet) WriteCSV(w io.Writer) error {
 			} else {
 				row = append(row, "")
 			}
+		}
+		if extra != nil {
+			row = append(row, extra(iv)...)
 		}
 		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
 			return err

@@ -1,12 +1,16 @@
 package sweep
 
 // Cell is the per-cell aggregation of a sweep: one (workload, scheme,
-// cache-mult, rate) coordinate summarized across its seed replicates.
+// cache-mult, rate, burst-mult) coordinate summarized across its seed
+// replicates.
 type Cell struct {
 	Workload   string  `json:"workload"`
 	Scheme     string  `json:"scheme"`
 	CacheMult  float64 `json:"cache_mult"`
 	RateFactor float64 `json:"rate_factor"`
+	// BurstMult is the burst-intensity coordinate (1 = the workload's
+	// published burst shape).
+	BurstMult float64 `json:"burst_mult"`
 	// Replicates counts the runs aggregated into this cell (fewer than
 	// Grid.Replicates on an interrupted sweep).
 	Replicates int `json:"replicates"`
@@ -37,6 +41,7 @@ type cellKey struct {
 	scheme     string
 	cacheMult  float64
 	rateFactor float64
+	burstMult  float64
 }
 
 // Aggregate groups runs by cell coordinate and summarizes each group.
@@ -47,7 +52,7 @@ func Aggregate(runs []Run) []Cell {
 	order := make([]cellKey, 0)
 	groups := make(map[cellKey][]Run)
 	for _, r := range runs {
-		k := cellKey{r.Workload, r.Scheme, r.CacheMult, r.RateFactor}
+		k := cellKey{r.Workload, r.Scheme, r.CacheMult, r.RateFactor, r.BurstMult}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -61,14 +66,14 @@ func Aggregate(runs []Run) []Cell {
 	// cell is summarized.
 	byKey := make(map[cellKey]int, len(cells))
 	for i, c := range cells {
-		byKey[cellKey{c.Workload, c.Scheme, c.CacheMult, c.RateFactor}] = i
+		byKey[cellKey{c.Workload, c.Scheme, c.CacheMult, c.RateFactor, c.BurstMult}] = i
 	}
 	for i := range cells {
 		c := &cells[i]
-		if wb, ok := byKey[cellKey{c.Workload, "WB", c.CacheMult, c.RateFactor}]; ok && c.Scheme != "WB" {
+		if wb, ok := byKey[cellKey{c.Workload, "WB", c.CacheMult, c.RateFactor, c.BurstMult}]; ok && c.Scheme != "WB" {
 			c.SpeedupVsWB = speedup(cells[wb].LatencyMeanUS, c.LatencyMeanUS)
 		}
-		if sib, ok := byKey[cellKey{c.Workload, "SIB", c.CacheMult, c.RateFactor}]; ok && c.Scheme != "SIB" {
+		if sib, ok := byKey[cellKey{c.Workload, "SIB", c.CacheMult, c.RateFactor, c.BurstMult}]; ok && c.Scheme != "SIB" {
 			c.SpeedupVsSIB = speedup(cells[sib].LatencyMeanUS, c.LatencyMeanUS)
 		}
 	}
@@ -88,10 +93,18 @@ func summarize(k cellKey, runs []Run) Cell {
 		Scheme:     k.scheme,
 		CacheMult:  k.cacheMult,
 		RateFactor: k.rateFactor,
+		BurstMult:  k.burstMult,
 		Replicates: len(runs),
-		QMinUS:     runs[0].QMeanUS,
-		QMaxUS:     runs[0].QMeanUS,
 	}
+	// Aggregate only ever groups actual runs, but summarize is also the
+	// bottom of the partial-report path (SIGINT-interrupted sweeps): an
+	// empty group must summarize to an empty cell, not index runs[0] and
+	// take the whole report down with it.
+	if len(runs) == 0 {
+		return c
+	}
+	c.QMinUS = runs[0].QMeanUS
+	c.QMaxUS = runs[0].QMeanUS
 	n := float64(len(runs))
 	for _, r := range runs {
 		c.QMeanUS += r.QMeanUS / n

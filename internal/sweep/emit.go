@@ -10,9 +10,13 @@ import (
 	"text/tabwriter"
 )
 
-// cellsHeader is the CSV column layout; ParseCellsCSV rejects anything
-// else, so the fuzzed round-trip property (parse(emit(x)) == x) doubles as
-// a schema lock.
+// cellsHeader is the original CSV column layout; cellsHeaderBurst adds
+// the burst_mult coordinate after rate_factor. The emitter writes the
+// legacy layout whenever every cell sits at the default burst multiplier
+// (so pre-existing paper-trio artifacts stay byte-identical) and the
+// extended one otherwise; ParseCellsCSV accepts exactly these two
+// layouts, so the fuzzed round-trip property (parse(emit(x)) == x)
+// doubles as a schema lock.
 var cellsHeader = []string{
 	"workload", "scheme", "cache_mult", "rate_factor", "replicates",
 	"q_mean_us", "q_min_us", "q_max_us", "disk_q_mean_us",
@@ -20,26 +24,63 @@ var cellsHeader = []string{
 	"speedup_vs_wb", "speedup_vs_sib",
 }
 
+var cellsHeaderBurst = []string{
+	"workload", "scheme", "cache_mult", "rate_factor", "burst_mult", "replicates",
+	"q_mean_us", "q_min_us", "q_max_us", "disk_q_mean_us",
+	"latency_mean_us", "hit_ratio_mean", "policy_flips_mean",
+	"speedup_vs_wb", "speedup_vs_sib",
+}
+
+// burstIdx is burst_mult's position in cellsHeaderBurst.
+const burstIdx = 4
+
 // ftoa formats floats losslessly: strconv's shortest representation that
 // parses back to the identical bits, which is what lets the emitters'
 // round-trip property hold exactly instead of "within epsilon".
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
+// hasBurstAxis reports whether any cell sits off the default burst
+// multiplier — the condition for emitting the extended CSV layout. A
+// BurstMult of 0 (a hand-built Cell that never went through Normalize)
+// also counts: dropping the column would silently rewrite it to 1 on
+// parse-back.
+func hasBurstAxis(cells []Cell) bool {
+	for _, c := range cells {
+		if c.BurstMult != 1 {
+			return true
+		}
+	}
+	return false
+}
+
 // WriteCellsCSV emits the per-cell summaries. Fields are quoted by the
-// csv writer as needed, floats in shortest-round-trip form.
+// csv writer as needed (registry workload names may contain commas,
+// quotes or anything else), floats in shortest-round-trip form. The
+// burst_mult column appears only when some cell is off the default
+// multiplier, so sweeps without a burst axis emit the legacy layout byte
+// for byte.
 func WriteCellsCSV(w io.Writer, cells []Cell) error {
+	burst := hasBurstAxis(cells)
 	cw := csv.NewWriter(w)
-	if err := cw.Write(cellsHeader); err != nil {
+	header := cellsHeader
+	if burst {
+		header = cellsHeaderBurst
+	}
+	if err := cw.Write(header); err != nil {
 		return err
 	}
 	for _, c := range cells {
-		rec := []string{
-			c.Workload, c.Scheme, ftoa(c.CacheMult), ftoa(c.RateFactor),
+		rec := make([]string, 0, len(header))
+		rec = append(rec, c.Workload, c.Scheme, ftoa(c.CacheMult), ftoa(c.RateFactor))
+		if burst {
+			rec = append(rec, ftoa(c.BurstMult))
+		}
+		rec = append(rec,
 			strconv.Itoa(c.Replicates),
 			ftoa(c.QMeanUS), ftoa(c.QMinUS), ftoa(c.QMaxUS), ftoa(c.DiskQMeanUS),
 			ftoa(c.LatencyMeanUS), ftoa(c.HitRatioMean), ftoa(c.PolicyFlipsMean),
 			ftoa(c.SpeedupVsWB), ftoa(c.SpeedupVsSIB),
-		}
+		)
 		if err := cw.Write(rec); err != nil {
 			return err
 		}
@@ -48,10 +89,14 @@ func WriteCellsCSV(w io.Writer, cells []Cell) error {
 	return cw.Error()
 }
 
-// ParseCellsCSV reads back a stream written by WriteCellsCSV.
+// ParseCellsCSV reads back a stream written by WriteCellsCSV, accepting
+// both the legacy layout (no burst_mult column; every cell is at the
+// default multiplier 1) and the extended one.
 func ParseCellsCSV(r io.Reader) ([]Cell, error) {
 	cr := csv.NewReader(r)
-	cr.FieldsPerRecord = len(cellsHeader)
+	// Width is pinned to the header row (which must match one of the two
+	// known layouts below); FieldsPerRecord = 0 makes the reader enforce
+	// it on every following record.
 	recs, err := cr.ReadAll()
 	if err != nil {
 		return nil, fmt.Errorf("sweep: reading cells CSV: %w", err)
@@ -59,28 +104,50 @@ func ParseCellsCSV(r io.Reader) ([]Cell, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("sweep: cells CSV is empty (missing header)")
 	}
-	for i, col := range cellsHeader {
+	header := cellsHeader
+	if len(recs[0]) == len(cellsHeaderBurst) {
+		header = cellsHeaderBurst
+	}
+	burst := len(header) == len(cellsHeaderBurst)
+	if len(recs[0]) != len(header) {
+		return nil, fmt.Errorf("sweep: cells CSV header has %d columns, want %d or %d",
+			len(recs[0]), len(cellsHeader), len(cellsHeaderBurst))
+	}
+	for i, col := range header {
 		if recs[0][i] != col {
 			return nil, fmt.Errorf("sweep: cells CSV header column %d = %q, want %q", i, recs[0][i], col)
 		}
 	}
+	// Column offset of everything at or past the optional burst_mult slot.
+	off := func(i int) int {
+		if burst && i >= burstIdx {
+			return i + 1
+		}
+		return i
+	}
 	cells := make([]Cell, 0, len(recs)-1)
 	for _, rec := range recs[1:] {
-		var c Cell
+		c := Cell{BurstMult: 1} // legacy files predate the burst axis
 		var err error
+		c.Workload, c.Scheme = rec[0], rec[1]
+		if c.Replicates, err = strconv.Atoi(rec[off(4)]); err != nil {
+			return nil, fmt.Errorf("sweep: cells CSV replicates: %w", err)
+		}
 		fields := []struct {
 			dst *float64
 			s   string
 		}{
 			{&c.CacheMult, rec[2]}, {&c.RateFactor, rec[3]},
-			{&c.QMeanUS, rec[5]}, {&c.QMinUS, rec[6]}, {&c.QMaxUS, rec[7]},
-			{&c.DiskQMeanUS, rec[8]}, {&c.LatencyMeanUS, rec[9]},
-			{&c.HitRatioMean, rec[10]}, {&c.PolicyFlipsMean, rec[11]},
-			{&c.SpeedupVsWB, rec[12]}, {&c.SpeedupVsSIB, rec[13]},
+			{&c.QMeanUS, rec[off(5)]}, {&c.QMinUS, rec[off(6)]}, {&c.QMaxUS, rec[off(7)]},
+			{&c.DiskQMeanUS, rec[off(8)]}, {&c.LatencyMeanUS, rec[off(9)]},
+			{&c.HitRatioMean, rec[off(10)]}, {&c.PolicyFlipsMean, rec[off(11)]},
+			{&c.SpeedupVsWB, rec[off(12)]}, {&c.SpeedupVsSIB, rec[off(13)]},
 		}
-		c.Workload, c.Scheme = rec[0], rec[1]
-		if c.Replicates, err = strconv.Atoi(rec[4]); err != nil {
-			return nil, fmt.Errorf("sweep: cells CSV replicates: %w", err)
+		if burst {
+			fields = append(fields, struct {
+				dst *float64
+				s   string
+			}{&c.BurstMult, rec[burstIdx]})
 		}
 		for _, f := range fields {
 			if *f.dst, err = strconv.ParseFloat(f.s, 64); err != nil {
@@ -123,16 +190,27 @@ func ParseCellsJSON(r io.Reader) ([]Cell, error) {
 
 // WriteReport renders the compact text report: the grid shape, a per-cell
 // table, and — when the sweep was interrupted — how much of it finished.
+// The burst-intensity column appears only when the grid actually sweeps
+// it, so reports without a burst axis render exactly as they always have.
 func WriteReport(w io.Writer, res *Result) error {
 	g := res.Grid
+	burst := len(g.BurstMults) > 1 || hasBurstAxis(res.Cells)
+	burstShape := ""
+	if burst {
+		burstShape = fmt.Sprintf(" × %d bursts", len(g.BurstMults))
+	}
 	if _, err := fmt.Fprintf(w,
-		"sweep: %d workloads × %d schemes × %d cache sizes × %d rates × %d seeds = %d runs (%d completed)\n\n",
+		"sweep: %d workloads × %d schemes × %d cache sizes × %d rates%s × %d seeds = %d runs (%d completed)\n\n",
 		len(g.Workloads), len(g.Schemes), len(g.CacheMults), len(g.RateFactors),
-		g.Replicates, res.Total, res.Completed); err != nil {
+		burstShape, g.Replicates, res.Total, res.Completed); err != nil {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', tabwriter.AlignRight)
-	fmt.Fprintln(tw, "workload\tscheme\tcache×\trate×\treps\tq mean µs\tq min µs\tq max µs\tdisk q µs\tlat µs\thit\tflips\tvs WB\tvs SIB\t")
+	burstCol := ""
+	if burst {
+		burstCol = "burst×\t"
+	}
+	fmt.Fprintln(tw, "workload\tscheme\tcache×\trate×\t"+burstCol+"reps\tq mean µs\tq min µs\tq max µs\tdisk q µs\tlat µs\thit\tflips\tvs WB\tvs SIB\t")
 	for _, c := range res.Cells {
 		vsWB, vsSIB := "-", "-"
 		if c.SpeedupVsWB != 0 {
@@ -141,8 +219,12 @@ func WriteReport(w io.Writer, res *Result) error {
 		if c.SpeedupVsSIB != 0 {
 			vsSIB = fmt.Sprintf("%.2f×", c.SpeedupVsSIB)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\t%.1f\t%s\t%s\t\n",
-			c.Workload, c.Scheme, c.CacheMult, c.RateFactor, c.Replicates,
+		burstVal := ""
+		if burst {
+			burstVal = fmt.Sprintf("%g\t", c.BurstMult)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%s%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\t%.1f\t%s\t%s\t\n",
+			c.Workload, c.Scheme, c.CacheMult, c.RateFactor, burstVal, c.Replicates,
 			c.QMeanUS, c.QMinUS, c.QMaxUS, c.DiskQMeanUS,
 			c.LatencyMeanUS, c.HitRatioMean, c.PolicyFlipsMean, vsWB, vsSIB)
 	}

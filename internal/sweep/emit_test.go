@@ -1,0 +1,81 @@
+package sweep
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCellsCSVHostileNames: registry workload names can contain CSV
+// metacharacters; the emitter must quote them so the parse-back
+// reproduces the cells exactly. This is the deterministic twin of the
+// fuzz round-trip corpus entries.
+func TestCellsCSVHostileNames(t *testing.T) {
+	cells := []Cell{
+		{Workload: `syn,"th"`, Scheme: "W\nB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Replicates: 1, QMeanUS: 2.5},
+		{Workload: "burst-mix-on6x-duty0.45-read0.35", Scheme: "LBICA", CacheMult: 0.5, RateFactor: 2, BurstMult: 2, Replicates: 3, QMeanUS: 7},
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseCellsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("parse-back: %v\ncsv:\n%s", err, buf.String())
+	}
+	if !reflect.DeepEqual(cells, back) {
+		t.Fatalf("hostile names diverged:\n  emitted %+v\n  parsed  %+v\ncsv:\n%s", cells, back, buf.String())
+	}
+}
+
+// TestCellsCSVSchemaCompatibility pins the two accepted layouts: cells at
+// the default burst multiplier emit the legacy 14-column header (so
+// pre-burst-axis artifacts stay byte-identical), any other multiplier
+// switches to the extended header, and legacy files parse with BurstMult
+// defaulted to 1.
+func TestCellsCSVSchemaCompatibility(t *testing.T) {
+	legacy := []Cell{{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Replicates: 2, QMeanUS: 3}}
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, legacy); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.SplitN(buf.String(), "\n", 2)[0]; strings.Contains(got, "burst_mult") {
+		t.Errorf("default-burst cells emitted the extended header: %q", got)
+	}
+	back, err := ParseCellsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(legacy, back) {
+		t.Errorf("legacy layout round trip diverged: %+v vs %+v", legacy, back)
+	}
+
+	burst := []Cell{{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 2, Replicates: 2, QMeanUS: 3}}
+	buf.Reset()
+	if err := WriteCellsCSV(&buf, burst); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.SplitN(buf.String(), "\n", 2)[0]; !strings.Contains(got, "burst_mult") {
+		t.Errorf("burst-axis cells emitted the legacy header: %q", got)
+	}
+	back, err = ParseCellsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(burst, back) {
+		t.Errorf("extended layout round trip diverged: %+v vs %+v", burst, back)
+	}
+
+	// A pre-PR file with no burst_mult column parses with the multiplier
+	// defaulted to 1, never 0.
+	old := "workload,scheme,cache_mult,rate_factor,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\n" +
+		"tpcc,WB,1,1,2,3,0,0,0,0,0,0,0,0\n"
+	cells, err := ParseCellsCSV(strings.NewReader(old))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 1 || cells[0].BurstMult != 1 {
+		t.Errorf("legacy file parsed to %+v, want BurstMult 1", cells)
+	}
+}

@@ -53,6 +53,7 @@ func cellsFromBytes(data []byte) []Cell {
 			Scheme:          str(),
 			CacheMult:       f64(),
 			RateFactor:      f64(),
+			BurstMult:       f64(),
 			Replicates:      int(binary.LittleEndian.Uint16(next(2))),
 			QMeanUS:         f64(),
 			QMinUS:          f64(),
@@ -76,13 +77,21 @@ func equalCells(a, b []Cell) bool {
 }
 
 // FuzzCellsCSVRoundTrip: whatever cells a fuzz input decodes to, parsing
-// the emitted CSV must reproduce them exactly — the lossless-float and
-// quoting guarantees of the emitter, bit for bit.
+// the emitted CSV must reproduce them exactly — the lossless-float,
+// quoting and optional-burst-column guarantees of the emitter, bit for
+// bit.
 func FuzzCellsCSVRoundTrip(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 4, 't', 'p', 'c', 'c', 2, 'W', 'B'})
 	f.Add(bytes.Repeat([]byte{0xff}, 200))
 	f.Add([]byte("3 some bytes that decode to cells with, commas \"quotes\" and\nnewlines"))
+	// A registry-style hostile workload name (comma + quote) with
+	// BurstMult bits decoding to exactly 1.0 — the legacy-layout branch.
+	f.Add([]byte{1, 5, 66, 77, 12, 2, 88, 2, 44, 12,
+		0, 0, 0, 0, 0, 0, 0, 0, // CacheMult 0
+		0, 0, 0, 0, 0, 0, 0, 0, // RateFactor 0
+		0, 0, 0, 0, 0, 0, 0xf0, 0x3f, // BurstMult 1.0 → legacy header
+	})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cells := cellsFromBytes(data)
 		var buf bytes.Buffer
@@ -128,6 +137,12 @@ func FuzzParseCellsCSV(f *testing.F) {
 	f.Add([]byte("workload,scheme,cache_mult,rate_factor,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\ntpcc,WB,1,1,2,3.5,1,8,100,250.25,0.75,0,1.5,0.9\n"))
 	f.Add([]byte("not,a,cells,csv\n"))
 	f.Add([]byte{})
+	// The extended layout (burst_mult column) with a quoted hostile
+	// workload name.
+	f.Add([]byte("workload,scheme,cache_mult,rate_factor,burst_mult,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\n\"syn,\"\"th\"\"\",LBICA,1,1,2,3,3.5,1,8,100,250.25,0.75,0,1.5,0.9\n"))
+	// Legacy layout with a quoted name: parse must default BurstMult to 1
+	// and re-emit the legacy header.
+	f.Add([]byte("workload,scheme,cache_mult,rate_factor,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\n\"a,b\",WB,1,1,2,3.5,1,8,100,250.25,0.75,0,1.5,0.9\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cells, err := ParseCellsCSV(bytes.NewReader(data))
 		if err != nil {

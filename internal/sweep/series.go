@@ -1,0 +1,145 @@
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"lbica/internal/engine"
+	"lbica/internal/stats"
+)
+
+// Per-interval series export: each completed run of a sweep can emit its
+// interval timeline — cache load, disk load, hit ratio, and the balancer's
+// group/policy decisions — as one CSV per cell, the raw material every
+// plotting and calibration pass consumes. The numeric columns ride on
+// stats.SeriesSet (the same carrier as the Fig. 4/5 curves); the
+// categorical decision columns are appended through its WriteCSVWith hook.
+
+// RunSeries builds the per-interval numeric series of one run: the Fig. 4
+// cache load and Fig. 5 disk load (µs) plus the per-interval hit ratio
+// derived from the engine's cumulative cache-stats snapshots.
+func RunSeries(er *engine.Results) *stats.SeriesSet {
+	ss := stats.NewSeriesSet("run-series")
+	cl := ss.Get("cache_load_us")
+	dl := ss.Get("disk_load_us")
+	hr := ss.Get("hit_ratio")
+	for i, smp := range er.Samples {
+		cl.Append(smp.Interval, smp.End, float64(smp.CacheLoad)/1e3)
+		dl.Append(smp.Interval, smp.End, float64(smp.DiskLoad)/1e3)
+		var hits, total uint64
+		if i < len(er.CacheStatsAt) {
+			cur := er.CacheStatsAt[i]
+			hits = cur.ReadHits + cur.WriteHits
+			total = cur.Reads + cur.Writes
+			if i > 0 {
+				prev := er.CacheStatsAt[i-1]
+				hits -= prev.ReadHits + prev.WriteHits
+				total -= prev.Reads + prev.Writes
+			}
+		}
+		ratio := 0.0
+		if total > 0 {
+			ratio = float64(hits) / float64(total)
+		}
+		hr.Append(smp.Interval, smp.End, ratio)
+	}
+	return ss
+}
+
+// WriteRunSeriesCSV emits one run's interval timeline:
+//
+//	interval,cache_load_us,disk_load_us,hit_ratio,group,policy
+//
+// group/policy reconstruct the balancer decision in force at each interval
+// from the policy-change timeline (Fig. 6's method): "WB" with group "-"
+// until the first decision, then the latest decision at or before the
+// interval.
+func WriteRunSeriesCSV(w io.Writer, er *engine.Results) error {
+	groupAt := make([]string, len(er.Samples))
+	policyAt := make([]string, len(er.Samples))
+	cur, curGroup := "WB", "-"
+	ti := 0
+	for i := range er.Samples {
+		for ti < len(er.Timeline) && er.Timeline[ti].Interval <= i {
+			cur = er.Timeline[ti].Policy.String()
+			curGroup = er.Timeline[ti].Group
+			ti++
+		}
+		groupAt[i] = curGroup
+		policyAt[i] = cur
+	}
+	return RunSeries(er).WriteCSVWith(w, []string{"group", "policy"}, func(iv int) []string {
+		if iv < 0 || iv >= len(groupAt) {
+			return []string{"-", "-"}
+		}
+		return []string{groupAt[iv], policyAt[iv]}
+	})
+}
+
+// SeriesFileName names a run's series file from its grid coordinates,
+// e.g. "series_tpcc_lbica_cm0.5_rf1_bm2_r0.csv". Workload names come from
+// the open registry and may contain anything, so they are sanitized to a
+// filesystem-safe alphabet.
+func SeriesFileName(pt Point) string {
+	return fmt.Sprintf("series_%s_%s_cm%g_rf%g_bm%g_r%d.csv",
+		sanitizeName(pt.Workload), sanitizeName(strings.ToLower(pt.Scheme)),
+		pt.CacheMult, pt.RateFactor, pt.BurstMult, pt.Replicate)
+}
+
+// sanitizeName maps a workload/scheme name onto [a-z0-9._-]: every other
+// byte becomes '_'. Distinct hostile names can collide after sanitizing;
+// the grid's duplicate-axis validation keeps coordinates unique in
+// practice, and colliding names still produce deterministic output (the
+// later run in expansion order wins).
+func sanitizeName(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '.', c == '_', c == '-':
+			b.WriteByte(c)
+		case c >= 'A' && c <= 'Z':
+			b.WriteByte(c - 'A' + 'a')
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// ExportSeries writes one series CSV per completed run into dir (created
+// if needed). pts and results are parallel in expansion order; nil results
+// (runs an interrupted sweep never finished) are skipped. Writing happens
+// serially in expansion order and each file depends only on its own run's
+// data, so the exported bytes are identical for every worker count.
+func ExportSeries(dir string, pts []Point, results []*engine.Results) error {
+	if len(pts) != len(results) {
+		return fmt.Errorf("sweep: series export got %d points but %d results", len(pts), len(results))
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("sweep: series dir: %w", err)
+	}
+	for i, er := range results {
+		if er == nil {
+			continue
+		}
+		path := filepath.Join(dir, SeriesFileName(pts[i]))
+		f, err := os.Create(path)
+		if err != nil {
+			return fmt.Errorf("sweep: series file: %w", err)
+		}
+		werr := WriteRunSeriesCSV(f, er)
+		cerr := f.Close()
+		if werr != nil {
+			return fmt.Errorf("sweep: writing %s: %w", path, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("sweep: closing %s: %w", path, cerr)
+		}
+	}
+	return nil
+}

@@ -1,9 +1,13 @@
 // Package sweep is the parameter-sweep subsystem: it expands a declarative
-// Grid (workloads × schemes × cache-size multipliers × rate factors × seed
-// replicates) into experiment specs, fans them out through the bounded
-// runner pool, and aggregates the finished runs into per-cell summaries —
-// mean/min/max max-queue-time, LBICA-vs-baseline speedups, policy-flip
-// counts — with CSV, JSON and text emitters.
+// Grid (workloads × schemes × cache-size multipliers × rate factors ×
+// burst-intensity multipliers × seed replicates) into experiment specs,
+// fans them out through the bounded runner pool, and aggregates the
+// finished runs into per-cell summaries — mean/min/max max-queue-time,
+// LBICA-vs-baseline speedups, policy-flip counts — with CSV, JSON and
+// text emitters, plus an optional per-interval series export per cell
+// (Options.SeriesDir). Workload axis values resolve through the workload
+// catalog, so grids range over the paper trio, the synthetic entries and
+// parameterized family names alike.
 //
 // The paper evaluates a fixed 3 workloads × 3 schemes matrix; the grid
 // generalizes that matrix along the axes its claims should be robust to
@@ -16,6 +20,7 @@ package sweep
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -32,7 +37,10 @@ import (
 // evaluation matrix.
 type Grid struct {
 	// Workloads and Schemes name the experiment axes; case-insensitive
-	// (normalized to the experiments package's canonical names).
+	// (normalized to the experiments package's canonical names). Workload
+	// names resolve through the catalog (workload.Default): the paper
+	// trio, synthetic entries, and parameterized family names such as
+	// "synth-randread-zipf1.2" or "burst-mix-on6x-duty0.45-read0.35".
 	Workloads []string `json:"workloads"`
 	Schemes   []string `json:"schemes"`
 	// CacheMults scales the SSD cache capacity relative to the paper's
@@ -40,6 +48,10 @@ type Grid struct {
 	CacheMults []float64 `json:"cache_mults"`
 	// RateFactors scales every workload's IOPS.
 	RateFactors []float64 `json:"rate_factors"`
+	// BurstMults scales every bursting phase's ON-rate and ON/OFF duty
+	// cycle (experiments.Spec.BurstMult) — the burst-intensity axis. Empty
+	// = {1}, the workloads' published burst shapes.
+	BurstMults []float64 `json:"burst_mults"`
 	// Replicates is the number of seed replicates per cell (≥1). Replicate
 	// r runs with seed sim.Stream(Seed, r): every scheme of a replicate
 	// shares that seed (the controlled comparison), and the split depends
@@ -82,6 +94,9 @@ func (g Grid) Normalize() Grid {
 	if len(g.RateFactors) == 0 {
 		g.RateFactors = []float64{1}
 	}
+	if len(g.BurstMults) == 0 {
+		g.BurstMults = []float64{1}
+	}
 	if g.Replicates < 1 {
 		g.Replicates = 1
 	}
@@ -96,13 +111,28 @@ func (g Grid) Normalize() Grid {
 // names must surface as errors, not panics. Duplicate axis values are
 // rejected too: a repeated value would re-run identical simulations and
 // silently inflate the cell's replicate count past Grid.Replicates.
+//
+// Scalar fields are checked before normalization: only the zero value
+// means "use the default". A negative Replicates, Intervals or Interval
+// used to be silently rewritten to its default, so the sweep ran (and
+// labeled) a different experiment than the one the user asked for —
+// negatives are now errors.
 func (g Grid) Validate() error {
+	if g.Replicates < 0 {
+		return fmt.Errorf("sweep: negative replicate count %d (0 means default)", g.Replicates)
+	}
+	if g.Intervals < 0 {
+		return fmt.Errorf("sweep: negative interval count %d (0 means the paper default)", g.Intervals)
+	}
+	if g.Interval < 0 {
+		return fmt.Errorf("sweep: negative monitor interval %v (0 means the 200ms default)", g.Interval)
+	}
 	g = g.Normalize()
 	for _, wl := range g.Workloads {
-		switch wl {
-		case experiments.WorkloadTPCC, experiments.WorkloadMail, experiments.WorkloadWeb:
-		default:
-			return fmt.Errorf("sweep: unknown workload %q (want tpcc|mail|web)", wl)
+		// The workload catalog (paper trio + synthetic + burst-mix
+		// families) is the source of truth for valid names.
+		if err := experiments.ValidateWorkload(wl); err != nil {
+			return fmt.Errorf("sweep: %w", err)
 		}
 	}
 	for _, sc := range g.Schemes {
@@ -129,11 +159,19 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: rate factor %v outside (0, 10000]", rf)
 		}
 	}
+	// The burst ceiling mirrors the burst-mix family's ON-rate bound: a
+	// 100× ON rate on the heaviest phase is already far past saturation.
+	for _, bm := range g.BurstMults {
+		if !(bm > 0 && bm <= 100) {
+			return fmt.Errorf("sweep: burst multiplier %v outside (0, 100]", bm)
+		}
+	}
 	for _, axis := range []struct{ name, dup string }{
 		{"workload", dupString(g.Workloads)},
 		{"scheme", dupString(g.Schemes)},
 		{"cache multiplier", dupFloat(g.CacheMults)},
 		{"rate factor", dupFloat(g.RateFactors)},
+		{"burst multiplier", dupFloat(g.BurstMults)},
 	} {
 		if axis.dup != "" {
 			return fmt.Errorf("sweep: duplicate %s %s in grid axis", axis.name, axis.dup)
@@ -170,7 +208,8 @@ func dupFloat(vals []float64) string {
 // axis lengths (after defaulting).
 func (g Grid) Size() int {
 	g = g.Normalize()
-	return len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) * g.Replicates
+	return len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) *
+		len(g.BurstMults) * g.Replicates
 }
 
 // Point is one expanded run: its grid coordinates plus the ready-to-run
@@ -180,40 +219,45 @@ type Point struct {
 	Scheme     string
 	CacheMult  float64
 	RateFactor float64
+	BurstMult  float64
 	Replicate  int
 	Spec       experiments.Spec
 }
 
 // Expand enumerates the grid in deterministic order — workload-major, then
-// cache multiplier, rate factor, replicate, and scheme innermost, so the
-// schemes of one controlled comparison are adjacent in the run order.
-// Expansion is a pure function of the grid: the same Grid always yields
-// the same points in the same order.
+// cache multiplier, rate factor, burst multiplier, replicate, and scheme
+// innermost, so the schemes of one controlled comparison are adjacent in
+// the run order. Expansion is a pure function of the grid: the same Grid
+// always yields the same points in the same order.
 func (g Grid) Expand() []Point {
 	g = g.Normalize()
 	pts := make([]Point, 0, g.Size())
 	for _, wl := range g.Workloads {
 		for _, cm := range g.CacheMults {
 			for _, rf := range g.RateFactors {
-				for rep := 0; rep < g.Replicates; rep++ {
-					seed := sim.Stream(g.Seed, rep)
-					for _, sc := range g.Schemes {
-						pts = append(pts, Point{
-							Workload:   wl,
-							Scheme:     sc,
-							CacheMult:  cm,
-							RateFactor: rf,
-							Replicate:  rep,
-							Spec: experiments.Spec{
+				for _, bm := range g.BurstMults {
+					for rep := 0; rep < g.Replicates; rep++ {
+						seed := sim.Stream(g.Seed, rep)
+						for _, sc := range g.Schemes {
+							pts = append(pts, Point{
 								Workload:   wl,
 								Scheme:     sc,
-								Seed:       seed,
-								Intervals:  g.Intervals,
-								Interval:   g.Interval,
-								RateFactor: rf,
 								CacheMult:  cm,
-							},
-						})
+								RateFactor: rf,
+								BurstMult:  bm,
+								Replicate:  rep,
+								Spec: experiments.Spec{
+									Workload:   wl,
+									Scheme:     sc,
+									Seed:       seed,
+									Intervals:  g.Intervals,
+									Interval:   g.Interval,
+									RateFactor: rf,
+									CacheMult:  cm,
+									BurstMult:  bm,
+								},
+							})
+						}
 					}
 				}
 			}
@@ -231,6 +275,7 @@ type Run struct {
 	Scheme       string  `json:"scheme"`
 	CacheMult    float64 `json:"cache_mult"`
 	RateFactor   float64 `json:"rate_factor"`
+	BurstMult    float64 `json:"burst_mult"`
 	Replicate    int     `json:"replicate"`
 	Seed         int64   `json:"seed"`
 	QMeanUS      float64 `json:"q_mean_us"`
@@ -249,6 +294,12 @@ type Options struct {
 	// OnDone, when non-nil, observes completion (serialized, completion
 	// order): done runs out of total.
 	OnDone func(done, total int)
+	// SeriesDir, when non-empty, exports each completed run's per-interval
+	// series — cache/disk load, hit ratio, balancer group and policy in
+	// force — as one CSV per cell into the directory (created if needed).
+	// Files are written after the sweep finishes, in expansion order, so
+	// their bytes are identical for every worker count.
+	SeriesDir string
 }
 
 // Result is a finished (or interrupted) sweep: the normalized grid, every
@@ -273,10 +324,12 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	g = g.Normalize()
+	// Validate before normalizing: Validate distinguishes "zero = use the
+	// default" from invalid negatives, which normalization would erase.
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
+	g = g.Normalize()
 	pts := g.Expand()
 	ro := runner.Options{Workers: opt.Workers}
 	if opt.OnDone != nil {
@@ -298,6 +351,13 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	}
 	res.Completed = len(res.Runs)
 	res.Cells = Aggregate(res.Runs)
+	if opt.SeriesDir != "" {
+		// After the fan-out, in expansion order: the exported bytes depend
+		// only on each run's own results, never on completion order, which
+		// extends the worker-count determinism guarantee to the series
+		// files. An interrupted sweep exports the runs that finished.
+		err = errors.Join(err, ExportSeries(opt.SeriesDir, pts, cells))
+	}
 	return res, err
 }
 
@@ -307,6 +367,7 @@ func newRun(pt Point, er *engine.Results) Run {
 		Scheme:       pt.Scheme,
 		CacheMult:    pt.CacheMult,
 		RateFactor:   pt.RateFactor,
+		BurstMult:    pt.BurstMult,
 		Replicate:    pt.Replicate,
 		Seed:         pt.Spec.Seed,
 		QMeanUS:      er.CacheLoadMean() / 1e3,

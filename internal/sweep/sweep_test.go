@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"reflect"
 	"testing"
+	"time"
 
 	"lbica/internal/experiments"
 	"lbica/internal/sim"
@@ -30,6 +31,9 @@ func randGrid(r *rand.Rand) Grid {
 	for i, n := 0, 1+r.Intn(4); i < n; i++ {
 		g.RateFactors = append(g.RateFactors, 0.5*float64(i+1)+r.Float64()*0.1)
 	}
+	for i, n := 0, 1+r.Intn(3); i < n; i++ {
+		g.BurstMults = append(g.BurstMults, 0.5*float64(i+1)+r.Float64()*0.1)
+	}
 	g.Replicates = 1 + r.Intn(5)
 	return g
 }
@@ -44,16 +48,18 @@ func TestExpandProperties(t *testing.T) {
 		g := randGrid(r)
 		pts := g.Expand()
 
-		want := len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) * g.Replicates
+		want := len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) *
+			len(g.BurstMults) * g.Replicates
 		if len(pts) != want || g.Size() != want {
-			t.Fatalf("trial %d: len(Expand()) = %d, Size() = %d, want %d (axes %dx%dx%dx%dx%d)",
+			t.Fatalf("trial %d: len(Expand()) = %d, Size() = %d, want %d (axes %dx%dx%dx%dx%dx%d)",
 				trial, len(pts), g.Size(), want,
-				len(g.Workloads), len(g.Schemes), len(g.CacheMults), len(g.RateFactors), g.Replicates)
+				len(g.Workloads), len(g.Schemes), len(g.CacheMults), len(g.RateFactors),
+				len(g.BurstMults), g.Replicates)
 		}
 
 		seen := make(map[string]bool, len(pts))
 		for _, p := range pts {
-			key := fmt.Sprintf("%s/%s/%v/%v/%d", p.Workload, p.Scheme, p.CacheMult, p.RateFactor, p.Replicate)
+			key := fmt.Sprintf("%s/%s/%v/%v/%v/%d", p.Workload, p.Scheme, p.CacheMult, p.RateFactor, p.BurstMult, p.Replicate)
 			if seen[key] {
 				t.Fatalf("trial %d: duplicate point %s", trial, key)
 			}
@@ -90,7 +96,7 @@ func TestExpandDefaults(t *testing.T) {
 			len(experiments.Workloads)*len(experiments.Schemes))
 	}
 	for _, p := range pts {
-		if p.CacheMult != 1 || p.RateFactor != 1 || p.Replicate != 0 {
+		if p.CacheMult != 1 || p.RateFactor != 1 || p.BurstMult != 1 || p.Replicate != 0 {
 			t.Fatalf("zero grid point %+v is not the paper default", p)
 		}
 	}
@@ -133,16 +139,39 @@ func TestValidateRejectsBadAxes(t *testing.T) {
 		{RateFactors: []float64{math.NaN()}},
 		{RateFactors: []float64{math.Inf(1)}},
 		{RateFactors: []float64{1e9}},
+		// The burst axis gets the same finite, bounded, positive treatment.
+		{BurstMults: []float64{0}},
+		{BurstMults: []float64{-2}},
+		{BurstMults: []float64{math.NaN()}},
+		{BurstMults: []float64{math.Inf(1)}},
+		{BurstMults: []float64{1e6}},
+		// Malformed family names must fail validation, not panic at run
+		// time inside the registry resolution.
+		{Workloads: []string{"synth-randread-zipf9.9"}},
+		{Workloads: []string{"burst-mix-onXx-duty0.3-read0.5"}},
+		{Workloads: []string{"burst-mix-on4x-duty2-read0.5"}},
 		// Duplicate axis values would silently re-run identical
 		// simulations and inflate the cell's replicate count.
 		{Workloads: []string{"tpcc", "TPCC"}},
 		{Schemes: []string{"wb", "wb"}},
 		{CacheMults: []float64{1, 2, 1}},
 		{RateFactors: []float64{0.8, 0.8}},
+		{BurstMults: []float64{2, 2}},
+		// Negative scalars used to be silently rewritten to their
+		// defaults, running a different sweep than the one the user asked
+		// for; only the zero value means "use the default".
+		{Replicates: -1},
+		{Intervals: -5},
+		{Interval: -time.Second},
 	} {
 		if err := g.Validate(); err == nil {
 			t.Errorf("grid %+v passed validation", g)
 		}
+	}
+	// Catalog names beyond the paper trio are valid axis values now.
+	ok := Grid{Workloads: []string{"burst-mix-hi", "synth-randread-zipf1.2", "burst-mix-on4x-duty0.3-read0.5"}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("catalog workload axis failed validation: %v", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"time"
 
 	"lbica/internal/sim"
@@ -18,23 +19,39 @@ type Scale struct {
 	Intervals int
 	// RateFactor scales every phase's IOPS; 1.0 is the calibrated default.
 	RateFactor float64
+	// BurstMult scales every bursting phase's ON-period arrival rate and
+	// ON/OFF duty cycle (the ON+OFF period is preserved); 1.0 is the
+	// workload's published burst shape, < 1 softens bursts, > 1 sharpens
+	// them. Phases without ON/OFF modulation are unaffected.
+	BurstMult float64
 }
 
 // DefaultScale matches the experiment harness defaults: 200 ms intervals,
 // 200 of them.
 func DefaultScale() Scale {
-	return Scale{Interval: 200 * time.Millisecond, Intervals: 200, RateFactor: 1}
+	return Scale{Interval: 200 * time.Millisecond, Intervals: 200, RateFactor: 1, BurstMult: 1}
 }
 
+// normalize fills zero fields with their defaults. Only the zero value
+// means "use the default": a negative field is a caller bug (schedules are
+// code — user input is validated upstream by the sweep grid and CLIs), and
+// silently clamping it would run a different experiment than the one the
+// caller labeled, so it panics instead.
 func (s Scale) normalize() Scale {
-	if s.Interval <= 0 {
+	if s.Interval < 0 || s.Intervals < 0 || s.RateFactor < 0 || s.BurstMult < 0 {
+		panic(fmt.Sprintf("workload: negative Scale field (%+v); zero means default, negatives are invalid", s))
+	}
+	if s.Interval == 0 {
 		s.Interval = 200 * time.Millisecond
 	}
-	if s.Intervals <= 0 {
+	if s.Intervals == 0 {
 		s.Intervals = 200
 	}
-	if s.RateFactor <= 0 {
+	if s.RateFactor == 0 {
 		s.RateFactor = 1
+	}
+	if s.BurstMult == 0 {
+		s.BurstMult = 1
 	}
 	return s
 }
@@ -42,6 +59,41 @@ func (s Scale) normalize() Scale {
 // span converts an interval count to a duration.
 func (s Scale) span(intervals int) time.Duration {
 	return time.Duration(intervals) * s.Interval
+}
+
+// maxDuty caps the scaled ON/OFF duty cycle: an ON fraction of 1 would
+// degenerate the modulation into a flat (non-burst) stream and starve the
+// OFF-period recovery the detector's comparison depends on.
+const maxDuty = 0.95
+
+// applyBurst returns phases with s.BurstMult applied: each bursting
+// phase's BurstIOPS and ON/OFF duty cycle scale by the multiplier while
+// the ON+OFF period stays fixed, so burst *intensity* changes without
+// moving phase boundaries off their published interval indexes. A
+// multiplier of exactly 1 returns phases untouched — the identity is
+// exact, not within float rounding, which is what keeps pre-existing
+// goldens byte-identical.
+func (s Scale) applyBurst(phases []Phase) []Phase {
+	if s.BurstMult == 1 {
+		return phases
+	}
+	out := make([]Phase, len(phases))
+	copy(out, phases)
+	for i := range out {
+		ph := &out[i]
+		if ph.BurstIOPS <= 0 || ph.BurstOn <= 0 {
+			continue
+		}
+		ph.BurstIOPS *= s.BurstMult
+		period := ph.BurstOn + ph.BurstOff
+		duty := float64(ph.BurstOn) / float64(period) * s.BurstMult
+		if duty > maxDuty {
+			duty = maxDuty
+		}
+		ph.BurstOn = time.Duration(duty * float64(period))
+		ph.BurstOff = period - ph.BurstOn
+	}
+	return out
 }
 
 // Burst periods used across the named workloads: bursts are ON/OFF flurries
@@ -85,7 +137,7 @@ func TPCC(s Scale, g *sim.RNG) *PhaseGen {
 			SizesSectors:     []int64{8, 8, 8, 16},
 		},
 	}
-	return NewPhaseGen("tpcc", phases, g)
+	return NewPhaseGen("tpcc", s.applyBurst(phases), g)
 }
 
 // MailServer models the paper's mail run, whose published decision
@@ -153,7 +205,7 @@ func MailServer(s Scale, g *sim.RNG) *PhaseGen {
 			SizesSectors:     []int64{8, 16},
 		},
 	}
-	return NewPhaseGen("mail", phases, g)
+	return NewPhaseGen("mail", s.applyBurst(phases), g)
 }
 
 // WebServer models the paper's web run: a heavy mixed read/write burst
@@ -200,7 +252,7 @@ func WebServer(s Scale, g *sim.RNG) *PhaseGen {
 			WriteZipfExponent:     0.3,
 		},
 	}
-	return NewPhaseGen("web", phases, g)
+	return NewPhaseGen("web", s.applyBurst(phases), g)
 }
 
 // Primitive single-phase workloads for unit tests, examples and ablations.

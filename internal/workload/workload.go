@@ -1,7 +1,8 @@
 // Package workload generates the application I/O streams of the paper's
 // evaluation: TPC-C, a mail server and a web server, all with burst
-// behavior, plus the synthetic primitives (random/sequential read/write,
-// mixed) used by unit tests and ablations.
+// behavior, plus a catalog of synthetic workloads (random/sequential
+// read/write, mixed, and the parameterized burst-mix family) registered
+// in Registry/Default so experiments and sweeps can name them.
 //
 // The physical evaluation replays real applications; here each workload is
 // a schedule of phases, each phase an ON/OFF modulated Poisson arrival
@@ -9,7 +10,8 @@
 // sequentiality. Phase timelines are expressed in monitor intervals so the
 // published decision timeline (e.g. mail server: mixed-RW burst at interval
 // 23, random-read burst at 128, write burst at 134) can be laid out
-// directly.
+// directly. Scale carries the experiment's interval geometry plus the
+// rate and burst-intensity multipliers every schedule honors.
 package workload
 
 import (

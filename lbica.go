@@ -242,6 +242,13 @@ func Run(o Options) (*Report, error) {
 // with ctx.Err(). A cancellation arriving only after every requested
 // interval has sampled is ignored — the report is complete.
 func RunContext(ctx context.Context, o Options) (*Report, error) {
+	// Zero means "use the default"; a negative value is an error, never a
+	// silent rewrite — clamping it would run a different experiment than
+	// the one the caller asked for while reporting their value nowhere.
+	if o.Intervals < 0 || o.IntervalLength < 0 || o.RateFactor < 0 {
+		return nil, fmt.Errorf("lbica: negative Intervals/IntervalLength/RateFactor (got %d, %v, %v); zero means default",
+			o.Intervals, o.IntervalLength, o.RateFactor)
+	}
 	if o.Workload == "" && len(o.Phases) == 0 {
 		o.Workload = WorkloadTPCC
 	}
@@ -251,13 +258,13 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
-	if o.IntervalLength <= 0 {
+	if o.IntervalLength == 0 {
 		o.IntervalLength = 200 * time.Millisecond
 	}
-	if o.RateFactor <= 0 {
+	if o.RateFactor == 0 {
 		o.RateFactor = 1
 	}
-	if o.Intervals <= 0 {
+	if o.Intervals == 0 {
 		if len(o.Phases) == 0 {
 			o.Intervals = defaultIntervals(o.Workload)
 		} else {
@@ -418,7 +425,15 @@ func buildWorkload(o Options) (workload.Generator, error) {
 	case WorkloadMixed:
 		return workload.MixedRW(dur, iops, 96*1024, g), nil
 	default:
-		return nil, fmt.Errorf("lbica: unknown workload %q", o.Workload)
+		// Names beyond the legacy aliases resolve through the workload
+		// catalog: synth-* entries, Zipf-parameterized variants
+		// (synth-randread-zipf1.2) and the burst-mix family
+		// (burst-mix-hi, burst-mix-on6x-duty0.45-read0.35).
+		b, err := workload.Default.Resolve(strings.ToLower(o.Workload))
+		if err != nil {
+			return nil, fmt.Errorf("lbica: %w", err)
+		}
+		return b(scale, g), nil
 	}
 }
 

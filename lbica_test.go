@@ -239,3 +239,39 @@ func TestSummaryQuantileOrdering(t *testing.T) {
 		t.Error("avg latency missing")
 	}
 }
+
+// TestCatalogWorkloadsThroughPublicAPI: names beyond the legacy aliases
+// resolve through the workload catalog — presets and parameterized family
+// names both run end to end.
+func TestCatalogWorkloadsThroughPublicAPI(t *testing.T) {
+	for _, wl := range []string{"burst-mix-hi", "synth-randread-zipf1.2", "burst-mix-on4x-duty0.3-read0.5"} {
+		r, err := Run(quick(wl, SchemeLBICA))
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if r.Workload != wl {
+			t.Errorf("report labeled %q, want %q", r.Workload, wl)
+		}
+		if r.Summary.Requests == 0 {
+			t.Errorf("%s completed no requests", wl)
+		}
+	}
+	if _, err := Run(quick("burst-mix-onXx-duty0.3-read0.5", SchemeWB)); err == nil {
+		t.Error("malformed family name ran instead of erroring")
+	}
+}
+
+// TestNegativeOptionsAreErrors: zero means "use the default"; negative
+// Intervals/IntervalLength/RateFactor used to be silently rewritten to
+// their defaults and must now surface as errors.
+func TestNegativeOptionsAreErrors(t *testing.T) {
+	for _, o := range []Options{
+		{Intervals: -1},
+		{IntervalLength: -time.Second},
+		{RateFactor: -0.5},
+	} {
+		if _, err := Run(o); err == nil {
+			t.Errorf("Options %+v ran instead of erroring", o)
+		}
+	}
+}

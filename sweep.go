@@ -14,7 +14,12 @@ import (
 // paper's evaluation defaults, so the zero GridSpec is exactly the paper's
 // matrix.
 type GridSpec struct {
-	// Workloads (tpcc|mail|web) and Schemes (wb|sib|lbica); empty = all.
+	// Workloads names workload-catalog entries: the paper trio
+	// (tpcc|mail|web), the synthetic catalog (synth-randread,
+	// synth-randwrite, synth-seqread, synth-seqwrite, synth-mixed,
+	// burst-mix-lo|mid|hi), or parameterized family names such as
+	// "synth-randread-zipf1.2" and "burst-mix-on6x-duty0.45-read0.35".
+	// Empty = the paper trio. Schemes are wb|sib|lbica; empty = all.
 	Workloads []string
 	Schemes   []string
 	// CacheMults scales the SSD cache capacity relative to the paper's
@@ -22,6 +27,10 @@ type GridSpec struct {
 	CacheMults []float64
 	// RateFactors scales workload IOPS (empty = {1}).
 	RateFactors []float64
+	// BurstMults is the burst-intensity axis: each value scales every
+	// bursting phase's ON-rate and ON/OFF duty cycle (empty = {1}, the
+	// workloads' published burst shapes).
+	BurstMults []float64
 	// SeedReplicates is the number of seed replicates per cell (default 1).
 	// Replicate r derives its seed from (Seed, r) alone, and every scheme
 	// inside a replicate shares it — the paper's controlled comparison.
@@ -41,6 +50,11 @@ type SweepOptions struct {
 	// OnProgress, when non-nil, observes completion (serialized,
 	// completion order).
 	OnProgress func(done, total int)
+	// SeriesDir, when non-empty, exports each run's per-interval series
+	// (cache/disk load, hit ratio, balancer group and policy) as one CSV
+	// per cell into the directory; bytes are identical for every Workers
+	// value.
+	SeriesDir string
 }
 
 // SweepRun is one finished simulation of a sweep: its grid coordinates
@@ -52,6 +66,7 @@ type SweepRun struct {
 	Scheme       string
 	CacheMult    float64
 	RateFactor   float64
+	BurstMult    float64
 	Replicate    int
 	Seed         int64
 	QMeanUS      float64
@@ -72,6 +87,7 @@ type SweepCell struct {
 	Scheme          string
 	CacheMult       float64
 	RateFactor      float64
+	BurstMult       float64
 	Replicates      int
 	QMeanUS         float64
 	QMinUS          float64
@@ -113,11 +129,12 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 		Schemes:     g.Schemes,
 		CacheMults:  g.CacheMults,
 		RateFactors: g.RateFactors,
+		BurstMults:  g.BurstMults,
 		Replicates:  g.SeedReplicates,
 		Seed:        g.Seed,
 		Intervals:   g.Intervals,
 		Interval:    g.IntervalLength,
-	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress})
+	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress, SeriesDir: opt.SeriesDir})
 	if res == nil {
 		return nil, err
 	}
