@@ -1,0 +1,208 @@
+package lbica
+
+import (
+	"bytes"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestArrayParallelMatchesSerial is the acceptance gate for the array
+// layer: a Volumes > 1 run sharded across the worker pool must be
+// byte-identical to the ShardWorkers: 1 serial baseline — full report
+// structure and rendered CSV alike, for every routing policy.
+func TestArrayParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		opts Options
+	}{
+		{"uniform", Options{Workload: "tpcc", Scheme: "lbica", Intervals: 8, Volumes: 4}},
+		{"hash", Options{Workload: "mail", Scheme: "lbica", Intervals: 8, Volumes: 4, RoutePolicy: "hash"}},
+		{"zipf", Options{Workload: "web", Scheme: "wb", Intervals: 8, Volumes: 4, RouteSkew: 1.2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serialOpts, parallelOpts := tc.opts, tc.opts
+			serialOpts.ShardWorkers = 1
+			parallelOpts.ShardWorkers = 4
+			serial, err := Run(serialOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := Run(parallelOpts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatal("parallel array report differs from the serial baseline")
+			}
+			var sb, pb bytes.Buffer
+			if err := serial.WriteCSV(&sb); err != nil {
+				t.Fatal(err)
+			}
+			if err := parallel.WriteCSV(&pb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(sb.Bytes(), pb.Bytes()) {
+				t.Fatal("rendered CSV differs between serial and parallel array runs")
+			}
+			if len(serial.PerVolume) != 4 {
+				t.Fatalf("PerVolume has %d entries, want 4", len(serial.PerVolume))
+			}
+		})
+	}
+}
+
+// Volumes: 1 must be byte-identical to the pre-refactor single-stack path
+// (the flag simply unset) for all three paper workloads: same report
+// structure, same rendered CSV, no array surface.
+func TestSingleVolumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-length runs are beyond the -short budget")
+	}
+	for _, wl := range []string{"tpcc", "mail", "web"} {
+		base, err := Run(Options{Workload: wl, Scheme: "lbica"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		one, err := Run(Options{Workload: wl, Scheme: "lbica", Volumes: 1, ShardWorkers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, one) {
+			t.Fatalf("%s: Volumes: 1 report differs from the flag-unset run", wl)
+		}
+		var bb, ob bytes.Buffer
+		if err := base.WriteCSV(&bb); err != nil {
+			t.Fatal(err)
+		}
+		if err := one.WriteCSV(&ob); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(bb.Bytes(), ob.Bytes()) {
+			t.Fatalf("%s: Volumes: 1 CSV differs from the flag-unset run", wl)
+		}
+		if one.PerVolume != nil {
+			t.Fatalf("%s: single-volume run grew a PerVolume surface", wl)
+		}
+	}
+}
+
+// The merged report must reconcile with its per-volume reports.
+func TestArrayReportMergeSemantics(t *testing.T) {
+	rep, err := Run(Options{Workload: "tpcc", Scheme: "lbica", Intervals: 10, Volumes: 3, ShardWorkers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reqs uint64
+	var ssdMiB float64
+	for v, vr := range rep.PerVolume {
+		if vr == nil {
+			t.Fatalf("volume %d missing from a completed run", v)
+		}
+		reqs += vr.Summary.Requests
+		ssdMiB += vr.Summary.SSDWrittenMiB
+	}
+	if rep.Summary.Requests != reqs {
+		t.Errorf("merged Requests %d != per-volume sum %d", rep.Summary.Requests, reqs)
+	}
+	if rep.Summary.SSDWrittenMiB != ssdMiB {
+		t.Errorf("merged SSDWrittenMiB %v != per-volume sum %v", rep.Summary.SSDWrittenMiB, ssdMiB)
+	}
+	if len(rep.Intervals) != 10 {
+		t.Fatalf("merged report has %d intervals, want 10", len(rep.Intervals))
+	}
+	for _, p := range rep.Policies {
+		if !strings.HasPrefix(p.Group, "v") {
+			t.Fatalf("merged policy event group %q lacks its volume prefix", p.Group)
+		}
+	}
+}
+
+// Record → replay must survive sharding: a stream recorded single-volume
+// replays across an array deterministically.
+func TestArrayReplaysRecordedStream(t *testing.T) {
+	var rec bytes.Buffer
+	if _, err := Run(Options{Workload: "tpcc", Scheme: "wb", Intervals: 4, RecordTo: &rec}); err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Report {
+		rep, err := Run(Options{Scheme: "lbica", Intervals: 4, Volumes: 2, ShardWorkers: 1,
+			ReplayFrom: bytes.NewReader(rec.Bytes())})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("replaying the same recording across an array is not deterministic")
+	}
+	if a.Summary.Requests == 0 {
+		t.Fatal("array replay completed no requests")
+	}
+}
+
+func TestArrayOptionValidation(t *testing.T) {
+	for name, o := range map[string]Options{
+		"negative volumes":     {Volumes: -1},
+		"oversized volumes":    {Volumes: 1 << 20},
+		"skew without array":   {RouteSkew: 1.2},
+		"policy without array": {RoutePolicy: "hash"},
+		"unknown policy":       {Volumes: 2, RoutePolicy: "robin"},
+		"skew under hash":      {Volumes: 2, RoutePolicy: "hash", RouteSkew: 1},
+		"negative skew":        {Volumes: 2, RouteSkew: -3},
+		"bad thresholds":       {Thresholds: Thresholds{MemberMin: -0.1}},
+		"thresholds above one": {Thresholds: Thresholds{ReadAlone: 1.5}},
+		"trace under array":    {Volumes: 2, TraceWriter: &bytes.Buffer{}},
+		"record under array":   {Volumes: 2, RecordTo: &bytes.Buffer{}},
+		"negative min queued":  {Thresholds: Thresholds{MinQueued: -5}},
+	} {
+		if _, err := Run(o); err == nil {
+			t.Errorf("%s: Run accepted %+v", name, o)
+		}
+	}
+}
+
+// The Thresholds knob must change behavior through the public API, and
+// explicit paper defaults must change nothing.
+func TestThresholdsOption(t *testing.T) {
+	base := Options{Workload: "mail", Scheme: "lbica", Intervals: 40}
+	rep, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Policies) == 0 {
+		t.Fatal("baseline made no policy decision; the probe below proves nothing")
+	}
+	muted := base
+	muted.Thresholds = Thresholds{MinQueued: 1 << 20}
+	mrep, err := Run(muted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrep.Policies) != 0 {
+		t.Fatalf("unreachable census floor still produced %d decisions", len(mrep.Policies))
+	}
+}
+
+// Merged interval loads show the bottleneck volume: each merged interval's
+// cache load equals the max across the per-volume reports.
+func TestArrayIntervalLoadsAreWorstVolume(t *testing.T) {
+	rep, err := Run(Options{Workload: "web", Scheme: "wb", Intervals: 6, Volumes: 3,
+		RouteSkew: 2, ShardWorkers: 1, Seed: rand.New(rand.NewSource(4)).Int63()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, iv := range rep.Intervals {
+		var want float64
+		for _, vr := range rep.PerVolume {
+			if v := vr.Intervals[i].CacheLoadMicros; v > want {
+				want = v
+			}
+		}
+		if iv.CacheLoadMicros != want {
+			t.Fatalf("interval %d: merged cache load %v, want worst-volume %v", i, iv.CacheLoadMicros, want)
+		}
+	}
+}

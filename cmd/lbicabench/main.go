@@ -24,6 +24,14 @@
 //	lbicabench -perf                       # full suite, paper-scale matrix
 //	lbicabench -perf -perf-filter kernel   # kernel microbenchmarks only
 //	lbicabench -perf -intervals 20         # coarse, fast matrix scale
+//
+// -volumes runs the whole evaluation over a sharded multi-volume array
+// (optionally with -route-skew for skewed routing), and
+// `-perf -perf-filter shard` measures shard scaling — the command that
+// regenerates BENCH_shard.json:
+//
+//	lbicabench -volumes 4 -summary
+//	lbicabench -perf -perf-filter shard
 package main
 
 import (
@@ -36,6 +44,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"lbica/internal/array"
 	"lbica/internal/cli"
 	"lbica/internal/experiments"
 	"lbica/internal/perf"
@@ -55,6 +64,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		rate       = fs.Float64("rate", 1, "workload IOPS scale factor")
 		workers    = fs.Int("workers", 0, "worker pool size for the matrix (0 = GOMAXPROCS, 1 = serial)")
 		intervals  = fs.Int("intervals", 0, "override the per-run interval count (0 = paper scale)")
+		volumes    = fs.Int("volumes", 1, "shard every matrix cell across this many independent cache+disk volumes (1 = the paper's single stack)")
+		routeSkew  = fs.Float64("route-skew", 0, "router Zipf skew over volume popularity (0 = uniform routing; needs -volumes > 1)")
 		perfMode   = fs.Bool("perf", false, "run the hot-path benchmark suite and emit JSON results on stdout")
 		perfFilter = fs.String("perf-filter", "", "with -perf: run only benchmarks whose name contains this substring")
 	)
@@ -71,9 +82,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 	start := time.Now()
 	fmt.Fprintf(stderr, "running the 3 workloads × 3 schemes matrix...\n")
+	if *volumes < 1 || *volumes > array.MaxVolumes {
+		fmt.Fprintf(stderr, "lbicabench: -volumes %d outside [1, %d]\n", *volumes, array.MaxVolumes)
+		return cli.ErrUsage
+	}
+	if *routeSkew != 0 && (*volumes < 2 || !(*routeSkew > 0 && *routeSkew <= array.MaxSkew)) {
+		fmt.Fprintf(stderr, "lbicabench: -route-skew %v needs -volumes > 1 and a value in (0, %v]\n", *routeSkew, array.MaxSkew)
+		return cli.ErrUsage
+	}
 	specs := experiments.MatrixSpecs(*seed, *rate)
 	for i := range specs {
 		specs[i].Intervals = *intervals
+		specs[i].Volumes = *volumes
+		specs[i].RouteSkew = *routeSkew
 	}
 	m, err := experiments.RunSpecs(ctx, specs, *workers, func(done, total int) {
 		fmt.Fprintf(stderr, "  %d/%d runs done (%v)\n", done, total, time.Since(start).Round(time.Millisecond))

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"lbica/internal/cli"
 	"lbica/internal/perf"
 )
 
@@ -96,5 +97,27 @@ func TestRunPerfMode(t *testing.T) {
 	}
 	if rep.Results[0].NsPerOp <= 0 {
 		t.Errorf("degenerate measurement: %+v", rep.Results[0])
+	}
+}
+
+// -volumes threads the array width through the whole matrix; bad values
+// are usage errors.
+func TestRunArrayMatrix(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-summary", "-intervals", "3", "-volumes", "2"}, &out, &errBuf); err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "| workload |") {
+		t.Errorf("array matrix produced no headline table:\n%s", out.String())
+	}
+	for _, args := range [][]string{
+		{"-volumes", "0"},
+		{"-volumes", "2", "-route-skew", "-2"},
+		{"-volumes", "1", "-route-skew", "1.2"},
+	} {
+		var o, e strings.Builder
+		if err := run(t.Context(), append([]string{"-summary", "-intervals", "2"}, args...), &o, &e); !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("args %v: err = %v, want cli.ErrUsage", args, err)
+		}
 	}
 }

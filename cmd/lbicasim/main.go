@@ -7,6 +7,7 @@
 //	lbicasim -workload mail -scheme lbica
 //	lbicasim -workload tpcc -scheme wb -intervals 50 -csv
 //	lbicasim -workload web -scheme sib -trace run.trc
+//	lbicasim -workload tpcc -volumes 4 -route-skew 1.2   # sharded array
 package main
 
 import (
@@ -40,6 +41,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		recordPath   = fs.String("record", "", "record the application request stream to this file")
 		replayPath   = fs.String("replay", "", "replay a request stream recorded with -record")
 		cacheMiB     = fs.Int("cache-mib", 0, "cache size in MiB (0 = default 256)")
+		volumes      = fs.Int("volumes", 0, "shard the run across this many independent cache+disk volumes (0/1 = single stack)")
+		routePolicy  = fs.String("route-policy", "", "array routing policy: uniform|hash|zipf (needs -volumes > 1)")
+		routeSkew    = fs.Float64("route-skew", 0, "router Zipf skew over volume popularity (needs -volumes > 1)")
+		shardWorkers = fs.Int("shard-workers", 0, "array shard pool size (0 = GOMAXPROCS, 1 = serial)")
 		cold         = fs.Bool("cold", false, "start with a cold cache (skip prewarm)")
 		configPath   = fs.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -67,6 +72,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		RateFactor:     *rate,
 		CacheMiB:       *cacheMiB,
 		DisablePrewarm: *cold,
+		Volumes:        *volumes,
+		RoutePolicy:    *routePolicy,
+		RouteSkew:      *routeSkew,
+		ShardWorkers:   *shardWorkers,
 	}
 	if *configPath != "" {
 		f, err := os.Open(*configPath)
@@ -172,5 +181,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stdout, "  load: cache %.0fµs  disk %.0fµs (per-interval max-latency means)\n", s.CacheLoadMean, s.DiskLoadMean)
 	fmt.Fprintf(stdout, "  bypassed to disk: %d, policy switches: %d\n", s.BypassedToDisk, s.PolicySwitches)
 	fmt.Fprintf(stdout, "  utilization: ssd %.2f  disk %.2f\n", s.SSDUtilization, s.HDDUtilization)
+	if len(report.PerVolume) > 0 {
+		fmt.Fprintln(stdout, "\nper-volume (array run):")
+		for v, vr := range report.PerVolume {
+			if vr == nil {
+				fmt.Fprintf(stdout, "  v%d: (cancelled before completion)\n", v)
+				continue
+			}
+			vs := vr.Summary
+			fmt.Fprintf(stdout, "  v%d: %d reqs, avg %v, hit %.3f, cache load %.0fµs, flips %d\n",
+				v, vs.Requests, vs.AvgLatency.Round(time.Microsecond), vs.HitRatio, vs.CacheLoadMean, len(vr.Policies))
+		}
+	}
 	return runErr
 }

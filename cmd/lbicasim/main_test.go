@@ -126,3 +126,23 @@ func TestRunRejectsBadProfilePath(t *testing.T) {
 		t.Fatal("directory as -cpuprofile did not error")
 	}
 }
+
+// -volumes shards the run and reports the per-volume breakdown.
+func TestRunArrayVolumes(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workload", "tpcc", "-scheme", "lbica", "-intervals", "3",
+			"-volumes", "2", "-route-policy", "hash", "-shard-workers", "1"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "per-volume (array run):") ||
+		!strings.Contains(out.String(), "v1:") {
+		t.Errorf("array run output lacks the per-volume breakdown:\n%s", out.String())
+	}
+	var o, e strings.Builder
+	if err := run(t.Context(), []string{"-volumes", "2", "-route-policy", "robin", "-intervals", "2"}, &o, &e); err == nil {
+		t.Error("unknown -route-policy accepted")
+	}
+}

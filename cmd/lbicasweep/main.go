@@ -44,6 +44,13 @@
 //
 //	lbicasweep -workload synth-randread-zipf1.2,burst-mix-hi \
 //	    -burst-mult 0.5,1,2 -series-dir out/
+//
+// -volumes shards every run across an array of independent cache+disk
+// volumes behind a deterministic router (volume-per-core), and
+// -route-skew Zipf-skews the router's volume popularity — the
+// imbalanced-fleet regime:
+//
+//	lbicasweep -workloads tpcc -schemes wb,lbica -volumes 2,4 -route-skew 0,1.2
 package main
 
 import (
@@ -80,6 +87,23 @@ func splitList(s string) []string {
 	return out
 }
 
+// splitInts parses a comma-separated integer list ("" = nil).
+func splitInts(s string) ([]int, error) {
+	parts := splitList(s)
+	if parts == nil {
+		return nil, nil
+	}
+	out := make([]int, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in list %q", p, s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
 // splitFloats parses a comma-separated float list ("" = nil).
 func splitFloats(s string) ([]float64, error) {
 	parts := splitList(s)
@@ -112,6 +136,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cacheMult  = fs.String("cache-mult", "1", "comma list of cache-size multipliers (1 = the paper's 256 MiB)")
 		rate       = fs.String("rate", "1", "comma list of workload IOPS scale factors")
 		burstMult  = fs.String("burst-mult", "1", "comma list of burst-intensity multipliers scaling every bursting phase's ON rate and duty cycle (1 = the published burst shapes)")
+		volumes    = fs.String("volumes", "1", "comma list of array widths: shard each run across this many independent cache+disk volumes (1 = the paper's single stack)")
+		routeSkew  = fs.String("route-skew", "0", "comma list of router Zipf skews over volume popularity (0 = uniform routing; non-zero needs every -volumes value > 1)")
 		seeds      = fs.Int("seeds", 1, "seed replicates per cell (replicate seeds derive from -seed)")
 		seed       = fs.Int64("seed", 1, "base random seed")
 		intervals  = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
@@ -157,6 +183,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stderr, "lbicasweep: -burst-mult:", err)
 		return cli.ErrUsage
 	}
+	vols, err := splitInts(*volumes)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbicasweep: -volumes:", err)
+		return cli.ErrUsage
+	}
+	skews, err := splitFloats(*routeSkew)
+	if err != nil {
+		fmt.Fprintln(stderr, "lbicasweep: -route-skew:", err)
+		return cli.ErrUsage
+	}
 
 	grid := lbica.GridSpec{
 		Workloads:      splitList(workloads),
@@ -164,6 +200,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		CacheMults:     mults,
 		RateFactors:    rates,
 		BurstMults:     bursts,
+		Volumes:        vols,
+		RouteSkews:     skews,
 		SeedReplicates: *seeds,
 		Seed:           *seed,
 		Intervals:      *intervals,

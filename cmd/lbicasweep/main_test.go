@@ -222,3 +222,35 @@ func TestRunWritesProfiles(t *testing.T) {
 		}
 	}
 }
+
+// The array axes reach the sweep: -volumes/-route-skew must expand the
+// grid and surface in the emitted CSV's array layout.
+func TestRunArrayAxes(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workloads", "tpcc", "-schemes", "wb,lbica", "-volumes", "2,4",
+			"-route-skew", "0,1.2", "-intervals", "3", "-format", "csv", "-q"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if !strings.Contains(lines[0], "volumes,route_skew") {
+		t.Fatalf("array sweep emitted header %q without array columns", lines[0])
+	}
+	if got, want := len(lines)-1, 2*2*2; got != want {
+		t.Errorf("emitted %d cells, want %d", got, want)
+	}
+	// Bad axis values are usage errors, not silent rewrites.
+	for _, args := range [][]string{
+		{"-volumes", "0"},
+		{"-volumes", "x"},
+		{"-volumes", "2", "-route-skew", "-1"},
+		{"-volumes", "1,2", "-route-skew", "1.2"},
+	} {
+		var o, e strings.Builder
+		if err := run(t.Context(), append(args, "-intervals", "2", "-q"), &o, &e); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

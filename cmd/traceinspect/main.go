@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -20,27 +21,29 @@ import (
 	"time"
 
 	"lbica/internal/block"
+	"lbica/internal/cli"
 	"lbica/internal/core"
 	"lbica/internal/trace"
 )
 
-func main() {
-	var (
-		mode   = flag.String("mode", "census", "dump | census | classify | stats")
-		window = flag.Duration("window", 200*time.Millisecond, "aggregation window for census/classify")
-		dev    = flag.String("dev", "ssd", "device queue to analyze: ssd | hdd")
-	)
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: traceinspect [-mode dump|census|classify|stats] [-window 200ms] <trace-file>")
-		os.Exit(2)
-	}
+func main() { cli.Main("traceinspect", run) }
 
-	f, err := os.Open(flag.Arg(0))
-	if err != nil {
-		fail(err)
+// run is the testable body of main: flags in, report out.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("traceinspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		mode   = fs.String("mode", "census", "dump | census | classify | stats")
+		window = fs.Duration("window", 200*time.Millisecond, "aggregation window for census/classify")
+		dev    = fs.String("dev", "ssd", "device queue to analyze: ssd | hdd")
+	)
+	if err := cli.Parse(fs, args); err != nil {
+		return err
 	}
-	defer f.Close()
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: traceinspect [-mode dump|census|classify|stats] [-window 200ms] <trace-file>")
+		return cli.ErrUsage
+	}
 
 	var wantDev trace.Device
 	switch *dev {
@@ -49,28 +52,33 @@ func main() {
 	case "hdd":
 		wantDev = trace.HDD
 	default:
-		fail(fmt.Errorf("unknown device %q", *dev))
+		fmt.Fprintf(stderr, "traceinspect: unknown device %q (want ssd|hdd)\n", *dev)
+		return cli.ErrUsage
 	}
+
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
 
 	switch *mode {
 	case "dump":
-		err = dump(f)
+		return dump(stdout, f)
 	case "census":
-		err = windows(f, wantDev, *window, false)
+		return windows(stdout, f, wantDev, *window, false)
 	case "classify":
-		err = windows(f, wantDev, *window, true)
+		return windows(stdout, f, wantDev, *window, true)
 	case "stats":
-		err = analyzeStats(f)
+		return analyzeStats(stdout, f)
 	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
-	}
-	if err != nil {
-		fail(err)
+		fmt.Fprintf(stderr, "traceinspect: unknown mode %q (want dump|census|classify|stats)\n", *mode)
+		return cli.ErrUsage
 	}
 }
 
 // dump streams the decoded events as text.
-func dump(r io.Reader) error {
+func dump(w io.Writer, r io.Reader) error {
 	tr := trace.NewReader(r)
 	for {
 		e, err := tr.Next()
@@ -80,42 +88,37 @@ func dump(r io.Reader) error {
 		if err != nil {
 			return err
 		}
-		fmt.Println(e)
+		fmt.Fprintln(w, e)
 	}
 }
 
 // windows prints the per-window census, optionally with the LBICA
 // classifier's verdict per window.
-func windows(r io.Reader, dev trace.Device, win time.Duration, classify bool) error {
+func windows(w io.Writer, r io.Reader, dev trace.Device, win time.Duration, classify bool) error {
 	wins, err := trace.WindowCensus(r, dev, win)
 	if err != nil {
 		return err
 	}
 	th := core.DefaultThresholds()
-	for _, w := range wins {
-		c := w.Census
+	for _, win := range wins {
+		c := win.Census
 		line := fmt.Sprintf("window %4d [%8v): n=%-6d R=%5.1f%% W=%5.1f%% P=%5.1f%% E=%5.1f%%",
-			w.Index, w.End, c.Total(),
+			win.Index, win.End, c.Total(),
 			100*c.Ratio(block.AppRead), 100*c.Ratio(block.AppWrite),
 			100*c.Ratio(block.Promote), 100*c.Ratio(block.Evict))
 		if classify {
 			line += "  → " + core.Classify(c, th).String()
 		}
-		fmt.Println(line)
+		fmt.Fprintln(w, line)
 	}
 	return nil
 }
 
 // analyzeStats prints the whole-trace per-origin breakdown.
-func analyzeStats(r io.Reader) error {
+func analyzeStats(w io.Writer, r io.Reader) error {
 	a, err := trace.Analyze(r)
 	if err != nil {
 		return err
 	}
-	return trace.WriteAnalysis(os.Stdout, a)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "traceinspect:", err)
-	os.Exit(1)
+	return trace.WriteAnalysis(w, a)
 }

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"errors"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lbica"
+	"lbica/internal/cli"
+)
+
+// writeTrace captures a short run's binary trace into a temp file.
+func writeTrace(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "run.trc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = lbica.Run(lbica.Options{Workload: "tpcc", Scheme: "lbica", Intervals: 3, TraceWriter: f})
+	if cerr := f.Close(); err != nil || cerr != nil {
+		t.Fatalf("recording trace: run=%v close=%v", err, cerr)
+	}
+	return path
+}
+
+// Smoke: every mode must decode a freshly captured trace and report on it.
+func TestRunAllModes(t *testing.T) {
+	path := writeTrace(t)
+	for mode, want := range map[string]string{
+		"dump":     " ssd ", // event lines render as "<time> <kind> <dev> #id ..."
+		"census":   "window",
+		"classify": "→",
+		"stats":    "origin",
+	} {
+		var out, errBuf strings.Builder
+		if err := run(t.Context(), []string{"-mode", mode, path}, &out, &errBuf); err != nil {
+			t.Fatalf("mode %s: %v (stderr: %s)", mode, err, errBuf.String())
+		}
+		if out.Len() == 0 {
+			t.Fatalf("mode %s produced no output", mode)
+		}
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("mode %s output lacks %q:\n%.400s", mode, want, out.String())
+		}
+	}
+}
+
+func TestRunHDDQueueAndWindow(t *testing.T) {
+	path := writeTrace(t)
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-mode", "census", "-dev", "hdd", "-window", "100ms", path}, &out, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "window") {
+		t.Errorf("hdd census produced no windows:\n%s", out.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	path := writeTrace(t)
+	for name, args := range map[string][]string{
+		"no file":      {"-mode", "census"},
+		"two files":    {path, path},
+		"bad mode":     {"-mode", "wat", path},
+		"bad device":   {"-dev", "tape", path},
+		"unknown flag": {"-nope", path},
+	} {
+		var out, errBuf strings.Builder
+		if err := run(t.Context(), args, &out, &errBuf); !errors.Is(err, cli.ErrUsage) {
+			t.Errorf("%s: err = %v, want cli.ErrUsage", name, err)
+		}
+	}
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"/nonexistent/trace.trc"}, &out, &errBuf); err == nil || errors.Is(err, cli.ErrUsage) {
+		t.Errorf("missing file: err = %v, want a non-usage error", err)
+	}
+}
+
+func TestRunHelpIsNotAnError(t *testing.T) {
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-h"}, &out, &errBuf); !errors.Is(err, flag.ErrHelp) {
+		t.Errorf("-h returned %v, want flag.ErrHelp", err)
+	}
+	if !strings.Contains(errBuf.String(), "Usage of traceinspect") {
+		t.Errorf("-h did not print usage:\n%s", errBuf.String())
+	}
+}

@@ -26,6 +26,22 @@ type optionsJSON struct {
 	Replacement    string      `json:"replacement,omitempty"`
 	DiskElevator   bool        `json:"disk_elevator,omitempty"`
 	DisablePrewarm bool        `json:"disable_prewarm,omitempty"`
+
+	Volumes      int             `json:"volumes,omitempty"`
+	RoutePolicy  string          `json:"route_policy,omitempty"`
+	RouteSkew    float64         `json:"route_skew,omitempty"`
+	ShardWorkers int             `json:"shard_workers,omitempty"`
+	Thresholds   *thresholdsJSON `json:"thresholds,omitempty"`
+}
+
+// thresholdsJSON mirrors Thresholds; zero/omitted fields inherit the
+// paper defaults field-wise, matching the in-process knob.
+type thresholdsJSON struct {
+	DominantPair float64 `json:"dominant_pair,omitempty"`
+	MemberMin    float64 `json:"member_min,omitempty"`
+	PromoteAlone float64 `json:"promote_alone,omitempty"`
+	ReadAlone    float64 `json:"read_alone,omitempty"`
+	MinQueued    int     `json:"min_queued,omitempty"`
 }
 
 type phaseJSON struct {
@@ -66,6 +82,19 @@ func LoadOptions(r io.Reader) (Options, error) {
 		Replacement:    j.Replacement,
 		DiskElevator:   j.DiskElevator,
 		DisablePrewarm: j.DisablePrewarm,
+		Volumes:        j.Volumes,
+		RoutePolicy:    j.RoutePolicy,
+		RouteSkew:      j.RouteSkew,
+		ShardWorkers:   j.ShardWorkers,
+	}
+	if j.Thresholds != nil {
+		o.Thresholds = Thresholds{
+			DominantPair: j.Thresholds.DominantPair,
+			MemberMin:    j.Thresholds.MemberMin,
+			PromoteAlone: j.Thresholds.PromoteAlone,
+			ReadAlone:    j.Thresholds.ReadAlone,
+			MinQueued:    j.Thresholds.MinQueued,
+		}
 	}
 	var err error
 	if o.IntervalLength, err = parseDur(j.IntervalLength, "interval_length"); err != nil {
@@ -114,6 +143,19 @@ func SaveOptions(w io.Writer, o Options) error {
 		Replacement:    o.Replacement,
 		DiskElevator:   o.DiskElevator,
 		DisablePrewarm: o.DisablePrewarm,
+		Volumes:        o.Volumes,
+		RoutePolicy:    o.RoutePolicy,
+		RouteSkew:      o.RouteSkew,
+		ShardWorkers:   o.ShardWorkers,
+	}
+	if o.Thresholds != (Thresholds{}) {
+		j.Thresholds = &thresholdsJSON{
+			DominantPair: o.Thresholds.DominantPair,
+			MemberMin:    o.Thresholds.MemberMin,
+			PromoteAlone: o.Thresholds.PromoteAlone,
+			ReadAlone:    o.Thresholds.ReadAlone,
+			MinQueued:    o.Thresholds.MinQueued,
+		}
 	}
 	if o.IntervalLength > 0 {
 		j.IntervalLength = o.IntervalLength.String()

@@ -1,0 +1,180 @@
+// Package array is the multi-volume layer: one simulation hosting N
+// volumes, each a full cache+SSD-queue+disk-subsystem stack with its own
+// load-balancer instance, fed by a deterministic router that splits the
+// application stream across the volumes. Volumes share no mutable state,
+// so the array shards volume-per-core through the bounded runner pool and
+// inherits its determinism guarantee: the merged results are byte-
+// identical for any worker count, including the serial baseline.
+//
+// The paper evaluates one SSD-cache/disk stack; an array is the
+// production shape — a fleet of such stacks behind a request router, the
+// regime where load balancing across a *population* of caches (DistCache,
+// NSDI '19) differs qualitatively from balancing one. The router policies
+// cover that design space: Uniform spreads requests independently of
+// content, Hash pins each block to a volume (the affine layout a
+// consistent-hashing frontend produces), and Zipf skews volume popularity
+// (the hot-shard regime proximity-aware allocation studies).
+package array
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+// Policy selects how the router assigns requests to volumes.
+type Policy uint8
+
+// Routing policies.
+const (
+	// Uniform routes each request to a uniformly random volume,
+	// independent of its address — the load-spreading frontend.
+	Uniform Policy = iota
+	// Hash routes by block address: every request for a block always
+	// lands on the same volume (consistent-hashing affinity), so a
+	// volume's cache only ever sees its own address shard.
+	Hash
+	// Zipf routes each request to a volume drawn from a Zipf-skewed
+	// popularity distribution over volumes (volume 0 hottest): the
+	// imbalanced-fleet regime where some volumes run hot while others
+	// idle. Skew 0 degenerates to Uniform weights.
+	Zipf
+)
+
+var policyNames = [...]string{"uniform", "hash", "zipf"}
+
+func (p Policy) String() string {
+	if int(p) < len(policyNames) {
+		return policyNames[p]
+	}
+	return fmt.Sprintf("Policy(%d)", int(p))
+}
+
+// ParsePolicy resolves a routing-policy name ("" = uniform).
+func ParsePolicy(s string) (Policy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "uniform":
+		return Uniform, nil
+	case "hash":
+		return Hash, nil
+	case "zipf":
+		return Zipf, nil
+	default:
+		return Uniform, fmt.Errorf("array: unknown routing policy %q (want uniform|hash|zipf)", s)
+	}
+}
+
+// Router deterministically assigns a request stream to volumes. Every
+// volume of an array constructs its own Router from the same (seed, n,
+// policy, skew) — the stochastic policies draw one value per request from
+// a dedicated "array:router" RNG stream, so sibling routers over copies
+// of the same stream make identical decisions in lockstep, while leaving
+// every other stream of the run untouched.
+type Router struct {
+	n      int
+	policy Policy
+	rng    *sim.RNG
+	cdf    []float64 // Zipf volume-popularity CDF
+}
+
+// NewRouter builds a router over n volumes. skew is the Zipf exponent of
+// the volume-popularity distribution (Zipf policy only; 0 = uniform
+// weights).
+func NewRouter(seed int64, n int, policy Policy, skew float64) *Router {
+	if n < 1 {
+		n = 1
+	}
+	r := &Router{n: n, policy: policy}
+	switch policy {
+	case Uniform, Zipf:
+		r.rng = sim.NewRNG(seed, "array:router")
+	}
+	if policy == Zipf {
+		r.cdf = make([]float64, n)
+		sum := 0.0
+		for v := 0; v < n; v++ {
+			sum += 1 / math.Pow(float64(v+1), skew)
+			r.cdf[v] = sum
+		}
+		for v := range r.cdf {
+			r.cdf[v] /= sum
+		}
+	}
+	return r
+}
+
+// Volumes returns the array width.
+func (r *Router) Volumes() int { return r.n }
+
+// Route assigns one request to a volume. For the stochastic policies this
+// consumes exactly one RNG draw per call, whatever the outcome — the
+// lockstep contract sibling routers rely on.
+func (r *Router) Route(req workload.Request) int {
+	if r.n == 1 {
+		// Still consume the draw: a 1-volume router must stay in lockstep
+		// with nothing, but skipping the draw would make Route's RNG
+		// consumption depend on n, complicating reasoning for no gain.
+		switch r.policy {
+		case Uniform:
+			r.rng.Intn(1)
+		case Zipf:
+			r.rng.Float64()
+		}
+		return 0
+	}
+	switch r.policy {
+	case Hash:
+		// Requests are assigned by their starting 4 KiB block — the same
+		// granularity the generators build LBAs from, so RouteBlock on a
+		// HotBlocks block number and on a request agree.
+		return r.RouteBlock(req.Extent.LBA / workload.BlockSectors)
+	case Zipf:
+		u := r.rng.Float64()
+		lo, hi := 0, r.n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if r.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	default:
+		return r.rng.Intn(r.n)
+	}
+}
+
+// RouteBlock is the Hash policy's pure routing function on a 4 KiB block
+// number — exposed so affine prewarm filtering can ask "could this block
+// ever be routed here?" without synthesizing a request.
+func (r *Router) RouteBlock(block int64) int {
+	// SplitMix64-style finalizer: adjacent blocks land on unrelated
+	// volumes, so striding workloads still spread.
+	x := uint64(block) + 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return int(x % uint64(r.n))
+}
+
+// VolumeGen wraps a bit-identical copy of the array's base workload
+// stream so volume vol sees exactly its routed sub-stream, in arrival
+// order. rt must be vol's own Router instance (routers are stateful).
+// Under the Hash policy the prewarm set is filtered to blocks that can
+// route here, overfetched by the array width so the volume still fills
+// its quota.
+func VolumeGen(gen workload.Generator, rt *Router, vol int) workload.Generator {
+	f := workload.NewFilter(gen, func(req workload.Request) bool {
+		return rt.Route(req) == vol
+	})
+	if rt.policy == Hash {
+		f.WithHotFilter(func(block int64) bool { return rt.RouteBlock(block) == vol }, rt.n)
+	}
+	return f
+}

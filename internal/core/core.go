@@ -111,6 +111,59 @@ func DefaultThresholds() Thresholds {
 	}
 }
 
+// Normalize fills zero fields with the calibrated paper defaults and
+// returns the result — the contract behind the public Thresholds knob
+// (lbica.Options.Thresholds / experiments.Spec.Thresholds): callers
+// override only the fields they set, and the zero value is exactly
+// DefaultThresholds. Call Validate first on user-supplied values; negative
+// fields pass through Normalize unchanged so validation can reject them.
+func (t Thresholds) Normalize() Thresholds {
+	d := DefaultThresholds()
+	if t.DominantPair == 0 {
+		t.DominantPair = d.DominantPair
+	}
+	if t.MemberMin == 0 {
+		t.MemberMin = d.MemberMin
+	}
+	if t.PromoteAlone == 0 {
+		t.PromoteAlone = d.PromoteAlone
+	}
+	if t.ReadAlone == 0 {
+		t.ReadAlone = d.ReadAlone
+	}
+	if t.MinQueued == 0 {
+		t.MinQueued = d.MinQueued
+	}
+	return t
+}
+
+// Validate reports the first invalid field. Zero means "use the paper
+// default" (Normalize); the share fields must otherwise be fractions in
+// (0, 1], and MinQueued a positive count. Negatives are never clamped —
+// a silently rewritten threshold would run a different classifier than
+// the one the caller asked for.
+func (t Thresholds) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"DominantPair", t.DominantPair},
+		{"MemberMin", t.MemberMin},
+		{"PromoteAlone", t.PromoteAlone},
+		{"ReadAlone", t.ReadAlone},
+	} {
+		// NaN fails both comparisons' complements: require an explicit
+		// in-range check so non-finite garbage cannot reach the classifier.
+		if !(f.v >= 0 && f.v <= 1) {
+			return fmt.Errorf("core: threshold %s = %v outside [0, 1] (0 means the paper default)", f.name, f.v)
+		}
+	}
+	if t.MinQueued < 0 {
+		return fmt.Errorf("core: threshold MinQueued = %d negative (0 means the paper default)", t.MinQueued)
+	}
+	return nil
+}
+
 // Classify buckets an SSD-queue census into a workload group.
 func Classify(c block.Census, th Thresholds) Group {
 	total := c.Total()

@@ -41,6 +41,12 @@ type Balancer interface {
 type Config struct {
 	Seed int64
 
+	// Volume addresses this stack within a multi-volume array (0 for a
+	// standalone stack). It only labels the stack and its Results — each
+	// volume is a fully independent cache+queues+disk stack; the array
+	// layer (internal/array) owns routing and result merging.
+	Volume int
+
 	Cache cache.Config
 	SSD   device.SSDConfig
 	HDD   device.HDDConfig
@@ -119,6 +125,12 @@ type PolicyChange struct {
 type Results struct {
 	Workload string
 	Scheme   string
+
+	// Volume is the array address of the stack that produced these results
+	// (Config.Volume; 0 for standalone runs). The array layer's merge
+	// sorts per-volume results by this field, which is what makes the
+	// merged output independent of shard completion order.
+	Volume int
 
 	Samples  []iostat.Sample
 	Timeline []PolicyChange
@@ -471,6 +483,9 @@ func New(cfg Config, gen workload.Generator, bal Balancer) *Stack {
 
 // Engine returns the simulation executive.
 func (st *Stack) Engine() *sim.Engine { return st.eng }
+
+// Volume returns the stack's array address (0 for standalone stacks).
+func (st *Stack) Volume() int { return st.cfg.Volume }
 
 // Now returns the current virtual time.
 func (st *Stack) Now() time.Duration { return st.eng.Now() }
@@ -872,6 +887,7 @@ func (st *Stack) RunContext(ctx context.Context, intervals int) *Results {
 	return &Results{
 		Workload:          st.gen.Name(),
 		Scheme:            st.schemeName(),
+		Volume:            st.cfg.Volume,
 		Samples:           st.mon.Samples(),
 		Timeline:          st.timeline,
 		CacheStatsAt:      st.cacheStatsAt,

@@ -1,0 +1,96 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"lbica/internal/core"
+)
+
+// Sharded parallel array runs must be byte-identical to the serial
+// baseline at the spec level, for every routing policy.
+func TestSpecArrayParallelMatchesSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"uniform", Spec{Workload: WorkloadTPCC, Scheme: SchemeLBICA, Intervals: 6, Volumes: 3}},
+		{"hash", Spec{Workload: WorkloadMail, Scheme: SchemeLBICA, Intervals: 6, Volumes: 3, RoutePolicy: "hash"}},
+		{"zipf", Spec{Workload: WorkloadWeb, Scheme: SchemeSIB, Intervals: 6, Volumes: 3, RouteSkew: 1.2}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			serial, parallel := tc.spec, tc.spec
+			serial.ShardWorkers = 1
+			parallel.ShardWorkers = 4
+			a, b := Run(serial), Run(parallel)
+			if !reflect.DeepEqual(a, b) {
+				t.Fatal("parallel array run differs from serial baseline")
+			}
+			if a.AppCompleted == 0 {
+				t.Fatal("array run completed no requests")
+			}
+			if len(a.Samples) != 6 {
+				t.Fatalf("merged run has %d samples, want 6", len(a.Samples))
+			}
+		})
+	}
+}
+
+// Volumes: 1 must take the exact single-stack path: identical results to a
+// spec that never mentions the array fields.
+func TestSpecSingleVolumeIdentity(t *testing.T) {
+	base := Spec{Workload: WorkloadTPCC, Scheme: SchemeLBICA, Intervals: 8}
+	one := base
+	one.Volumes = 1
+	one.ShardWorkers = 4 // must be inert at one volume
+	if !reflect.DeepEqual(Run(base), Run(one)) {
+		t.Fatal("Volumes: 1 results differ from the implicit single-stack run")
+	}
+}
+
+func TestSpecNormalizePanicsOnBadArrayFields(t *testing.T) {
+	for name, spec := range map[string]Spec{
+		"negative volumes":     {Workload: WorkloadTPCC, Volumes: -1},
+		"skew without array":   {Workload: WorkloadTPCC, RouteSkew: 1.2},
+		"policy without array": {Workload: WorkloadTPCC, RoutePolicy: "hash"},
+		"unknown policy":       {Workload: WorkloadTPCC, Volumes: 2, RoutePolicy: "robin"},
+		"skew under hash":      {Workload: WorkloadTPCC, Volumes: 2, RoutePolicy: "hash", RouteSkew: 1},
+		"negative skew":        {Workload: WorkloadTPCC, Volumes: 2, RouteSkew: -0.5},
+		"absurd width":         {Workload: WorkloadTPCC, Volumes: 100000},
+		"bad thresholds":       {Workload: WorkloadTPCC, Thresholds: core.Thresholds{DominantPair: 1.5}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: Normalize did not panic", name)
+				}
+			}()
+			spec.Normalize()
+		}()
+	}
+}
+
+// The Thresholds knob must reach LBICA's classifier: with an unreachable
+// census floor the classifier can never assign a group, so a run that
+// flips policies under the paper calibration makes no decision at all.
+func TestThresholdsKnobReachesClassifier(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two 60-interval runs are beyond the -short budget")
+	}
+	base := Spec{Workload: WorkloadMail, Scheme: SchemeLBICA, Intervals: 60}
+	if flips := len(Run(base).Timeline); flips == 0 {
+		t.Fatal("baseline mail run made no policy decision; the probe below proves nothing")
+	}
+	muted := base
+	muted.Thresholds = core.Thresholds{MinQueued: 1 << 20}
+	if flips := len(Run(muted).Timeline); flips != 0 {
+		t.Fatalf("MinQueued=2^20 still produced %d policy decisions — thresholds not plumbed through", flips)
+	}
+	// Zero fields inherit the paper defaults individually: overriding one
+	// field must reproduce the default behavior when set to its default.
+	pinned := base
+	pinned.Thresholds = core.Thresholds{MinQueued: core.DefaultThresholds().MinQueued}
+	if !reflect.DeepEqual(Run(pinned), Run(base)) {
+		t.Fatal("explicitly setting the default MinQueued changed the run")
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"lbica/internal/array"
 	"lbica/internal/block"
 	"lbica/internal/core"
 	"lbica/internal/engine"
@@ -62,6 +63,28 @@ type Spec struct {
 	// cycle (workload.Scale.BurstMult). Defaults to 1, the workload's
 	// published burst shape.
 	BurstMult float64
+	// Volumes is the array width: how many independent cache+disk stacks
+	// the run shards the workload across (internal/array). Defaults to 1,
+	// the paper's single-stack configuration, which bypasses the array
+	// layer entirely.
+	Volumes int
+	// RoutePolicy selects how the array router splits the stream across
+	// volumes: "uniform", "hash" or "zipf". Empty means "zipf" when
+	// RouteSkew > 0 and "uniform" otherwise. Meaningful only when
+	// Volumes > 1.
+	RoutePolicy string
+	// RouteSkew is the Zipf exponent of the router's volume-popularity
+	// distribution (0 = uniform routing weights) — the skewed-routing
+	// axis. Requires Volumes > 1 when non-zero.
+	RouteSkew float64
+	// ShardWorkers caps the array's volume-per-core fan-out (≤0 =
+	// GOMAXPROCS; 1 = the serial baseline the determinism tests compare
+	// against). Output is byte-identical for every value.
+	ShardWorkers int
+	// Thresholds overrides LBICA's census-classifier calibration
+	// (core.Thresholds). The zero value is the paper's calibrated
+	// defaults; zero fields inherit their default individually.
+	Thresholds core.Thresholds
 }
 
 // Normalize fills defaulted fields in place and returns the result. Only
@@ -71,9 +94,22 @@ type Spec struct {
 // them to the default would run a different experiment than the one the
 // spec labels, so Normalize panics on them instead.
 func (s Spec) Normalize() Spec {
-	if s.Intervals < 0 || s.Interval < 0 || s.RateFactor < 0 || s.CacheMult < 0 || s.BurstMult < 0 {
+	if s.Intervals < 0 || s.Interval < 0 || s.RateFactor < 0 || s.CacheMult < 0 || s.BurstMult < 0 || s.Volumes < 0 {
 		panic(fmt.Sprintf("experiments: negative Spec field (%+v); zero means default, negatives are invalid", s))
 	}
+	if s.Volumes == 0 {
+		s.Volumes = 1
+	}
+	if s.Volumes == 1 && (s.RouteSkew != 0 || s.RoutePolicy != "") {
+		panic(fmt.Sprintf("experiments: Spec routes a single-volume run (policy %q, skew %v); routing needs Volumes > 1", s.RoutePolicy, s.RouteSkew))
+	}
+	if err := s.arrayConfig().Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	if err := s.Thresholds.Validate(); err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	s.Thresholds = s.Thresholds.Normalize()
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
@@ -139,18 +175,47 @@ func NewGenerator(spec Spec) workload.Generator {
 	return b(scale, g)
 }
 
-// NewBalancer builds the scheme's balancer (nil for the WB baseline).
+// NewBalancer builds the scheme's balancer (nil for the WB baseline) with
+// the paper's calibrated thresholds.
 func NewBalancer(scheme string) engine.Balancer {
+	return NewBalancerWithThresholds(scheme, core.DefaultThresholds())
+}
+
+// NewBalancerWithThresholds is NewBalancer with an explicit LBICA
+// classifier calibration (zero fields inherit the paper defaults). The
+// thresholds only affect the LBICA scheme; WB has no balancer and SIB no
+// census classifier.
+func NewBalancerWithThresholds(scheme string, th core.Thresholds) engine.Balancer {
 	switch scheme {
 	case SchemeWB:
 		return nil
 	case SchemeSIB:
 		return sib.New(sib.DefaultConfig())
 	case SchemeLBICA:
-		return core.New(core.DefaultConfig())
+		cfg := core.DefaultConfig()
+		cfg.Thresholds = th.Normalize()
+		return core.New(cfg)
 	default:
 		panic(fmt.Sprintf("experiments: unknown scheme %q", scheme))
 	}
+}
+
+// arrayConfig resolves the spec's array fields. RoutePolicy defaults to
+// "zipf" when a skew is set and "uniform" otherwise; an unparseable name
+// panics (specs are code — user input is validated by the sweep grid and
+// the CLIs before a Spec is built).
+func (s Spec) arrayConfig() array.Config {
+	pol := array.Uniform
+	if s.RoutePolicy != "" {
+		p, err := array.ParsePolicy(s.RoutePolicy)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		pol = p
+	} else if s.RouteSkew > 0 {
+		pol = array.Zipf
+	}
+	return array.Config{Volumes: s.Volumes, Policy: pol, Skew: s.RouteSkew, Workers: s.ShardWorkers}
 }
 
 // Run executes one workload × scheme simulation.
@@ -161,6 +226,14 @@ func Run(spec Spec) *engine.Results {
 // RunContext is Run with cooperative cancellation: a cancelled ctx stops
 // the simulation at the next event boundary and returns the partial
 // results accumulated so far.
+//
+// When spec.Volumes > 1 the run is a multi-volume array: each volume is a
+// full stack with its own balancer instance, fed its routed sub-stream,
+// sharded volume-per-core through the runner pool (spec.ShardWorkers) and
+// merged order-independently — the returned Results are the array-level
+// reduction (see array.Merge), byte-identical for every worker count. A
+// cancellation drops volumes that had not completed; the merged partial
+// covers the volumes that finished.
 func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	spec = spec.Normalize()
 	cfg := engine.DefaultConfig()
@@ -181,11 +254,37 @@ func RunContext(ctx context.Context, spec Spec) *engine.Results {
 		cfg.Cache.Sets = int(f)
 		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
 	}
-	gen := NewGenerator(spec)
-	st := engine.New(cfg, gen, NewBalancer(spec.Scheme))
-	res := st.RunContext(ctx, spec.Intervals)
-	res.Workload = spec.Workload
-	return res
+	if spec.Volumes <= 1 {
+		// The single-stack path is exactly the pre-array pipeline — no
+		// router, no filter, the run seed untouched — so Volumes: 1 output
+		// stays byte-identical to the paper harness's goldens.
+		gen := NewGenerator(spec)
+		st := engine.New(cfg, gen, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds))
+		res := st.RunContext(ctx, spec.Intervals)
+		res.Workload = spec.Workload
+		return res
+	}
+
+	acfg := spec.arrayConfig()
+	ares, _ := array.Run(ctx, acfg, spec.Intervals, func(vol int) (*engine.Stack, error) {
+		vcfg := cfg
+		// Each volume is distinct hardware: its devices draw from their own
+		// (Stream(seed, vol), component) streams. The workload copy below
+		// deliberately does NOT use the volume seed — every volume must
+		// replay the bit-identical base stream for the routers to agree.
+		vcfg.Seed = sim.Stream(spec.Seed, vol)
+		vcfg.Volume = vol
+		gen := NewGenerator(spec)
+		vg := array.VolumeGen(gen, acfg.NewRouter(spec.Seed), vol)
+		return engine.New(vcfg, vg, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds)), nil
+	})
+	// The only possible error is a context cancellation (builds cannot
+	// fail, the config was validated in Normalize), and the contract here
+	// matches the single-stack path: a cancelled run returns the partial
+	// results that exist.
+	merged := ares.Merged
+	merged.Workload = spec.Workload
+	return merged
 }
 
 // Matrix holds the 3×3 evaluation results indexed [workload][scheme].

@@ -58,6 +58,8 @@ func Suite(intervals int) []Bench {
 		{"queue/push-pop", BenchQueuePushPop},
 		{"queue/merge", BenchQueueMerge},
 		{"matrix/serial", func(b *testing.B) { BenchMatrixSerial(b, intervals) }},
+		{"shard/volumes4-serial", func(b *testing.B) { BenchShard(b, intervals, 4, 1) }},
+		{"shard/volumes4-parallel", func(b *testing.B) { BenchShard(b, intervals, 4, 0) }},
 	}
 }
 
@@ -170,6 +172,26 @@ func BenchQueueMerge(b *testing.B) {
 			Extent: block.Extent{LBA: next, Sectors: 8}}
 		next += 8
 		q.Push(r, 0)
+	}
+}
+
+// BenchShard runs one tpcc/LBICA array of the given width end to end
+// (0 = paper scale): the shard-scaling measurement behind
+// BENCH_shard.json — the serial/parallel pair isolates the speedup of
+// sharding one simulation's volumes across cores (workers 0 =
+// GOMAXPROCS).
+func BenchShard(b *testing.B, intervals, volumes, workers int) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Run(experiments.Spec{
+			Workload:     experiments.WorkloadTPCC,
+			Scheme:       experiments.SchemeLBICA,
+			Intervals:    intervals,
+			Volumes:      volumes,
+			ShardWorkers: workers,
+		})
+		if res.AppCompleted == 0 {
+			b.Fatal("shard run completed no requests")
+		}
 	}
 }
 

@@ -1,0 +1,122 @@
+package stats
+
+import "time"
+
+// Merge/reduce primitives for combining per-shard statistics into
+// array-level aggregates. Every reducer here folds in the order its input
+// slice presents — callers that need permutation-invariant output (the
+// array layer's per-volume merge) sort their inputs by a stable key first,
+// which turns "deterministic for one order" into "identical bytes for any
+// order".
+
+// WeightedMean accumulates value×weight pairs — the reducer behind
+// array-level latency averages, where each volume's per-interval mean must
+// count in proportion to how many requests it served. The zero value is an
+// empty accumulator ready to use.
+type WeightedMean struct {
+	sum    float64
+	weight float64
+}
+
+// Add folds in one value with the given non-negative weight. Zero-weight
+// observations contribute nothing (an idle volume's "mean of no requests"
+// must not drag the array mean toward zero).
+func (m *WeightedMean) Add(v, weight float64) {
+	if weight <= 0 {
+		return
+	}
+	m.sum += v * weight
+	m.weight += weight
+}
+
+// AddDuration folds a duration in as nanoseconds.
+func (m *WeightedMean) AddDuration(d time.Duration, weight float64) {
+	m.Add(float64(d), weight)
+}
+
+// Weight returns the total weight folded in.
+func (m *WeightedMean) Weight() float64 { return m.weight }
+
+// Mean returns the weighted mean (0 when no weight has been added).
+func (m *WeightedMean) Mean() float64 {
+	if m.weight == 0 {
+		return 0
+	}
+	return m.sum / m.weight
+}
+
+// Duration returns the weighted mean as a duration.
+func (m *WeightedMean) Duration() time.Duration { return time.Duration(m.Mean()) }
+
+// MergeHistograms folds a set of histograms into a fresh one, skipping nil
+// entries. The fold runs in slice order; histogram merging sums counts and
+// float totals, so for inputs pre-sorted by a stable key the result is
+// identical whatever order the histograms were produced in.
+func MergeHistograms(hs []*Histogram) *Histogram {
+	out := NewHistogram()
+	for _, h := range hs {
+		out.Merge(h)
+	}
+	return out
+}
+
+// SumSeries reduces same-shaped series point-wise: the result has one
+// point per interval present in any input, valued at the sum of the
+// inputs' values there. Interval axes are merged as a union, so shards
+// that stopped early (a cancelled volume) still contribute the intervals
+// they finished. At/timestamps take the maximum across inputs (the
+// interval is closed when its last shard closes it).
+func SumSeries(name string, in []*Series) *Series {
+	return reduceSeries(name, in, func(acc, v float64) float64 { return acc + v })
+}
+
+// MaxSeries reduces same-shaped series point-wise to the per-interval
+// maximum — the "worst volume" view an array-level load curve wants.
+func MaxSeries(name string, in []*Series) *Series {
+	return reduceSeries(name, in, func(acc, v float64) float64 {
+		if v > acc {
+			return v
+		}
+		return acc
+	})
+}
+
+func reduceSeries(name string, in []*Series, fold func(acc, v float64) float64) *Series {
+	type slot struct {
+		at    time.Duration
+		value float64
+		seen  bool
+	}
+	slots := map[int]*slot{}
+	maxIv := -1
+	for _, s := range in {
+		if s == nil {
+			continue
+		}
+		for _, p := range s.Points {
+			sl := slots[p.Interval]
+			if sl == nil {
+				sl = &slot{}
+				slots[p.Interval] = sl
+				if p.Interval > maxIv {
+					maxIv = p.Interval
+				}
+			}
+			if p.At > sl.at {
+				sl.at = p.At
+			}
+			if !sl.seen {
+				sl.value, sl.seen = p.Value, true
+			} else {
+				sl.value = fold(sl.value, p.Value)
+			}
+		}
+	}
+	out := &Series{Name: name}
+	for iv := 0; iv <= maxIv; iv++ {
+		if sl, ok := slots[iv]; ok {
+			out.Append(iv, sl.at, sl.value)
+		}
+	}
+	return out
+}

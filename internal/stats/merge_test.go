@@ -1,0 +1,109 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestWeightedMean(t *testing.T) {
+	var m WeightedMean
+	if m.Mean() != 0 || m.Duration() != 0 {
+		t.Fatal("zero accumulator should report 0")
+	}
+	m.Add(10, 1)
+	m.Add(20, 3)
+	if got, want := m.Mean(), 17.5; got != want {
+		t.Errorf("Mean() = %v, want %v", got, want)
+	}
+	if got, want := m.Weight(), 4.0; got != want {
+		t.Errorf("Weight() = %v, want %v", got, want)
+	}
+	// Zero and negative weights contribute nothing.
+	m.Add(1e9, 0)
+	m.Add(1e9, -2)
+	if got := m.Mean(); got != 17.5 {
+		t.Errorf("zero-weight Add changed the mean: %v", got)
+	}
+	var d WeightedMean
+	d.AddDuration(100*time.Microsecond, 1)
+	d.AddDuration(300*time.Microsecond, 1)
+	if got, want := d.Duration(), 200*time.Microsecond; got != want {
+		t.Errorf("Duration() = %v, want %v", got, want)
+	}
+}
+
+func TestMergeHistograms(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Microsecond)
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	merged := MergeHistograms([]*Histogram{a, nil, b})
+	if got, want := merged.Count(), a.Count()+b.Count(); got != want {
+		t.Fatalf("merged count %d, want %d", got, want)
+	}
+	if merged.Min() != a.Min() || merged.Max() != b.Max() {
+		t.Errorf("merged min/max %v/%v, want %v/%v", merged.Min(), merged.Max(), a.Min(), b.Max())
+	}
+	if got, want := merged.Mean(), (a.Mean()+b.Mean())/2; got != want {
+		t.Errorf("merged mean %v, want %v", got, want)
+	}
+	// Merging an empty set yields a usable empty histogram, not nil.
+	empty := MergeHistograms(nil)
+	if empty == nil || empty.Count() != 0 {
+		t.Fatalf("MergeHistograms(nil) = %v", empty)
+	}
+	empty.Record(time.Second) // must not panic: counts must be allocated
+}
+
+func TestSumAndMaxSeries(t *testing.T) {
+	mk := func(vals ...float64) *Series {
+		s := &Series{Name: "in"}
+		for i, v := range vals {
+			s.Append(i, time.Duration(i+1)*time.Second, v)
+		}
+		return s
+	}
+	a := mk(1, 2, 3)
+	b := mk(10, 20) // shorter: a cancelled shard's partial series
+
+	sum := SumSeries("sum", []*Series{a, nil, b})
+	if got, want := sum.Points, []Point{
+		{0, time.Second, 11}, {1, 2 * time.Second, 22}, {2, 3 * time.Second, 3},
+	}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SumSeries = %+v, want %+v", got, want)
+	}
+	max := MaxSeries("max", []*Series{a, b})
+	if got, want := max.Points, []Point{
+		{0, time.Second, 10}, {1, 2 * time.Second, 20}, {2, 3 * time.Second, 3},
+	}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MaxSeries = %+v, want %+v", got, want)
+	}
+}
+
+// Reducing pre-sorted inputs must not depend on which shard produced which
+// series: summing permutations of integer-valued series yields identical
+// points (the array merge sorts by volume before folding, so this is the
+// exact contract it relies on).
+func TestReduceSeriesPermutationInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := make([]*Series, 5)
+	for v := range base {
+		s := &Series{Name: "shard"}
+		for i := 0; i < 20; i++ {
+			s.Append(i, time.Duration(i)*time.Second, float64(rng.Intn(1000)))
+		}
+		base[v] = s
+	}
+	want := SumSeries("sum", base)
+	for trial := 0; trial < 10; trial++ {
+		perm := append([]*Series(nil), base...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		got := SumSeries("sum", perm)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: permuted sum differs:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}

@@ -1,8 +1,8 @@
 package sweep
 
 // Cell is the per-cell aggregation of a sweep: one (workload, scheme,
-// cache-mult, rate, burst-mult) coordinate summarized across its seed
-// replicates.
+// cache-mult, rate, burst-mult, volumes, route-skew) coordinate
+// summarized across its seed replicates.
 type Cell struct {
 	Workload   string  `json:"workload"`
 	Scheme     string  `json:"scheme"`
@@ -11,6 +11,10 @@ type Cell struct {
 	// BurstMult is the burst-intensity coordinate (1 = the workload's
 	// published burst shape).
 	BurstMult float64 `json:"burst_mult"`
+	// Volumes is the array-width coordinate (1 = the paper's single
+	// stack) and RouteSkew the router's Zipf skew (0 = uniform routing).
+	Volumes   int     `json:"volumes"`
+	RouteSkew float64 `json:"route_skew"`
 	// Replicates counts the runs aggregated into this cell (fewer than
 	// Grid.Replicates on an interrupted sweep).
 	Replicates int `json:"replicates"`
@@ -42,6 +46,8 @@ type cellKey struct {
 	cacheMult  float64
 	rateFactor float64
 	burstMult  float64
+	volumes    int
+	routeSkew  float64
 }
 
 // Aggregate groups runs by cell coordinate and summarizes each group.
@@ -52,7 +58,7 @@ func Aggregate(runs []Run) []Cell {
 	order := make([]cellKey, 0)
 	groups := make(map[cellKey][]Run)
 	for _, r := range runs {
-		k := cellKey{r.Workload, r.Scheme, r.CacheMult, r.RateFactor, r.BurstMult}
+		k := cellKey{r.Workload, r.Scheme, r.CacheMult, r.RateFactor, r.BurstMult, r.Volumes, r.RouteSkew}
 		if _, ok := groups[k]; !ok {
 			order = append(order, k)
 		}
@@ -66,14 +72,14 @@ func Aggregate(runs []Run) []Cell {
 	// cell is summarized.
 	byKey := make(map[cellKey]int, len(cells))
 	for i, c := range cells {
-		byKey[cellKey{c.Workload, c.Scheme, c.CacheMult, c.RateFactor, c.BurstMult}] = i
+		byKey[cellKey{c.Workload, c.Scheme, c.CacheMult, c.RateFactor, c.BurstMult, c.Volumes, c.RouteSkew}] = i
 	}
 	for i := range cells {
 		c := &cells[i]
-		if wb, ok := byKey[cellKey{c.Workload, "WB", c.CacheMult, c.RateFactor, c.BurstMult}]; ok && c.Scheme != "WB" {
+		if wb, ok := byKey[cellKey{c.Workload, "WB", c.CacheMult, c.RateFactor, c.BurstMult, c.Volumes, c.RouteSkew}]; ok && c.Scheme != "WB" {
 			c.SpeedupVsWB = speedup(cells[wb].LatencyMeanUS, c.LatencyMeanUS)
 		}
-		if sib, ok := byKey[cellKey{c.Workload, "SIB", c.CacheMult, c.RateFactor, c.BurstMult}]; ok && c.Scheme != "SIB" {
+		if sib, ok := byKey[cellKey{c.Workload, "SIB", c.CacheMult, c.RateFactor, c.BurstMult, c.Volumes, c.RouteSkew}]; ok && c.Scheme != "SIB" {
 			c.SpeedupVsSIB = speedup(cells[sib].LatencyMeanUS, c.LatencyMeanUS)
 		}
 	}
@@ -94,6 +100,8 @@ func summarize(k cellKey, runs []Run) Cell {
 		CacheMult:  k.cacheMult,
 		RateFactor: k.rateFactor,
 		BurstMult:  k.burstMult,
+		Volumes:    k.volumes,
+		RouteSkew:  k.routeSkew,
 		Replicates: len(runs),
 	}
 	// Aggregate only ever groups actual runs, but summarize is also the

@@ -1,0 +1,126 @@
+package sweep
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func arrayGrid() Grid {
+	return Grid{
+		Workloads:  []string{"tpcc"},
+		Schemes:    []string{"wb", "lbica"},
+		Volumes:    []int{2, 4},
+		RouteSkews: []float64{0, 1.2},
+		Seed:       3,
+		Intervals:  4,
+	}
+}
+
+func TestGridArrayAxesValidate(t *testing.T) {
+	for name, g := range map[string]Grid{
+		"zero volume":         {Volumes: []int{0}},
+		"negative volume":     {Volumes: []int{-2}},
+		"oversized volume":    {Volumes: []int{100000}},
+		"duplicate volume":    {Volumes: []int{2, 2}},
+		"negative skew":       {Volumes: []int{2}, RouteSkews: []float64{-1}},
+		"oversized skew":      {Volumes: []int{2}, RouteSkews: []float64{1e9}},
+		"duplicate skew":      {Volumes: []int{2}, RouteSkews: []float64{1.1, 1.1}},
+		"skew without shards": {RouteSkews: []float64{1.2}},
+		"skew with one-wide":  {Volumes: []int{1, 4}, RouteSkews: []float64{0, 1.2}},
+	} {
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, g)
+		}
+	}
+	ok := arrayGrid()
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid array grid rejected: %v", err)
+	}
+	if got, want := ok.Size(), 1*2*2*2*1; got != want {
+		t.Errorf("Size() = %d, want %d", got, want)
+	}
+}
+
+func TestGridArrayExpandCoordinates(t *testing.T) {
+	pts := arrayGrid().Expand()
+	seen := map[[2]interface{}]int{}
+	for _, pt := range pts {
+		seen[[2]interface{}{pt.Volumes, pt.RouteSkew}]++
+		if pt.Spec.Volumes != pt.Volumes || pt.Spec.RouteSkew != pt.RouteSkew {
+			t.Fatalf("point coordinates not threaded into spec: %+v", pt)
+		}
+	}
+	for _, want := range [][2]interface{}{{2, 0.0}, {2, 1.2}, {4, 0.0}, {4, 1.2}} {
+		if seen[want] != 2 { // 2 schemes per coordinate
+			t.Errorf("coordinate %v expanded %d times, want 2", want, seen[want])
+		}
+	}
+}
+
+// A sharded sweep must stay byte-identical between serial and parallel
+// execution — the runner guarantee composed with the array layer's.
+func TestSweepArrayParallelMatchesSerial(t *testing.T) {
+	g := arrayGrid()
+	run := func(workers int) string {
+		res, err := Execute(t.Context(), g, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCellsCSV(&buf, res.Cells); err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteJSON(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if serial, parallel := run(1), run(0); serial != parallel {
+		t.Fatal("sharded sweep output differs between serial and parallel execution")
+	}
+}
+
+// Array sweeps emit the array CSV layout, carry per-cell speedups within
+// each (volumes, skew) coordinate, and name series files by coordinate.
+func TestSweepArrayReporting(t *testing.T) {
+	dir := t.TempDir()
+	res, err := Execute(t.Context(), arrayGrid(), Options{SeriesDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCellsCSV(&buf, res.Cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], "volumes,route_skew") {
+		t.Errorf("array sweep emitted header without array columns:\n%s", buf.String())
+	}
+	lbicaCells := 0
+	for _, c := range res.Cells {
+		if c.Scheme == "LBICA" {
+			lbicaCells++
+			if c.SpeedupVsWB == 0 {
+				t.Errorf("cell %+v has no WB speedup despite a WB sibling at its coordinate", c)
+			}
+		}
+	}
+	if lbicaCells != 4 {
+		t.Errorf("expected 4 LBICA cells, got %d", lbicaCells)
+	}
+	for _, name := range []string{
+		"series_tpcc_wb_cm1_rf1_bm1_v2_rs0_r0.csv",
+		"series_tpcc_lbica_cm1_rf1_bm1_v4_rs1.2_r0.csv",
+	} {
+		if _, ok := readDir(t, dir)[name]; !ok {
+			t.Errorf("series file %s missing; have %v", name, fileNames(readDir(t, dir)))
+		}
+	}
+	var report bytes.Buffer
+	if err := WriteReport(&report, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(report.String(), "widths") || !strings.Contains(report.String(), "skew") {
+		t.Errorf("text report lacks the array columns:\n%s", report.String())
+	}
+}

@@ -11,12 +11,15 @@ import (
 )
 
 // cellsHeader is the original CSV column layout; cellsHeaderBurst adds
-// the burst_mult coordinate after rate_factor. The emitter writes the
-// legacy layout whenever every cell sits at the default burst multiplier
-// (so pre-existing paper-trio artifacts stay byte-identical) and the
-// extended one otherwise; ParseCellsCSV accepts exactly these two
-// layouts, so the fuzzed round-trip property (parse(emit(x)) == x)
-// doubles as a schema lock.
+// the burst_mult coordinate after rate_factor, and cellsHeaderArray adds
+// the volumes/route_skew coordinates after that. The emitter writes the
+// narrowest layout that loses nothing: legacy whenever every cell sits at
+// the default burst multiplier and a single unsharded volume (so
+// pre-existing paper-trio artifacts stay byte-identical), the burst
+// layout when only the burst axis is in play, and the array layout
+// otherwise; ParseCellsCSV accepts exactly these three layouts, so the
+// fuzzed round-trip property (parse(emit(x)) == x) doubles as a schema
+// lock.
 var cellsHeader = []string{
 	"workload", "scheme", "cache_mult", "rate_factor", "replicates",
 	"q_mean_us", "q_min_us", "q_max_us", "disk_q_mean_us",
@@ -31,8 +34,12 @@ var cellsHeaderBurst = []string{
 	"speedup_vs_wb", "speedup_vs_sib",
 }
 
-// burstIdx is burst_mult's position in cellsHeaderBurst.
-const burstIdx = 4
+var cellsHeaderArray = []string{
+	"workload", "scheme", "cache_mult", "rate_factor", "burst_mult", "volumes", "route_skew", "replicates",
+	"q_mean_us", "q_min_us", "q_max_us", "disk_q_mean_us",
+	"latency_mean_us", "hit_ratio_mean", "policy_flips_mean",
+	"speedup_vs_wb", "speedup_vs_sib",
+}
 
 // ftoa formats floats losslessly: strconv's shortest representation that
 // parses back to the identical bits, which is what lets the emitters'
@@ -40,8 +47,8 @@ const burstIdx = 4
 func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
 
 // hasBurstAxis reports whether any cell sits off the default burst
-// multiplier — the condition for emitting the extended CSV layout. A
-// BurstMult of 0 (a hand-built Cell that never went through Normalize)
+// multiplier — the condition for emitting at least the burst CSV layout.
+// A BurstMult of 0 (a hand-built Cell that never went through Normalize)
 // also counts: dropping the column would silently rewrite it to 1 on
 // parse-back.
 func hasBurstAxis(cells []Cell) bool {
@@ -53,19 +60,41 @@ func hasBurstAxis(cells []Cell) bool {
 	return false
 }
 
+// hasArrayAxis reports whether any cell sits off the single-volume
+// default — the condition for emitting the array CSV layout. Volumes of 0
+// (a hand-built Cell) counts for the same reason as hasBurstAxis.
+func hasArrayAxis(cells []Cell) bool {
+	for _, c := range cells {
+		if c.Volumes != 1 || c.RouteSkew != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// cellsLayout picks the narrowest header that can carry every cell.
+func cellsLayout(cells []Cell) []string {
+	switch {
+	case hasArrayAxis(cells):
+		return cellsHeaderArray
+	case hasBurstAxis(cells):
+		return cellsHeaderBurst
+	default:
+		return cellsHeader
+	}
+}
+
 // WriteCellsCSV emits the per-cell summaries. Fields are quoted by the
 // csv writer as needed (registry workload names may contain commas,
 // quotes or anything else), floats in shortest-round-trip form. The
-// burst_mult column appears only when some cell is off the default
-// multiplier, so sweeps without a burst axis emit the legacy layout byte
-// for byte.
+// burst_mult and volumes/route_skew columns appear only when some cell is
+// off their defaults, so sweeps without those axes emit the earlier
+// layouts byte for byte.
 func WriteCellsCSV(w io.Writer, cells []Cell) error {
-	burst := hasBurstAxis(cells)
+	header := cellsLayout(cells)
+	burst := len(header) >= len(cellsHeaderBurst)
+	arr := len(header) == len(cellsHeaderArray)
 	cw := csv.NewWriter(w)
-	header := cellsHeader
-	if burst {
-		header = cellsHeaderBurst
-	}
 	if err := cw.Write(header); err != nil {
 		return err
 	}
@@ -74,6 +103,9 @@ func WriteCellsCSV(w io.Writer, cells []Cell) error {
 		rec = append(rec, c.Workload, c.Scheme, ftoa(c.CacheMult), ftoa(c.RateFactor))
 		if burst {
 			rec = append(rec, ftoa(c.BurstMult))
+		}
+		if arr {
+			rec = append(rec, strconv.Itoa(c.Volumes), ftoa(c.RouteSkew))
 		}
 		rec = append(rec,
 			strconv.Itoa(c.Replicates),
@@ -90,11 +122,11 @@ func WriteCellsCSV(w io.Writer, cells []Cell) error {
 }
 
 // ParseCellsCSV reads back a stream written by WriteCellsCSV, accepting
-// both the legacy layout (no burst_mult column; every cell is at the
-// default multiplier 1) and the extended one.
+// all three layouts: legacy (no burst_mult column; every cell is at the
+// default multiplier 1), burst, and array (volumes/route_skew columns).
 func ParseCellsCSV(r io.Reader) ([]Cell, error) {
 	cr := csv.NewReader(r)
-	// Width is pinned to the header row (which must match one of the two
+	// Width is pinned to the header row (which must match one of the
 	// known layouts below); FieldsPerRecord = 0 makes the reader enforce
 	// it on every following record.
 	recs, err := cr.ReadAll()
@@ -104,50 +136,60 @@ func ParseCellsCSV(r io.Reader) ([]Cell, error) {
 	if len(recs) == 0 {
 		return nil, fmt.Errorf("sweep: cells CSV is empty (missing header)")
 	}
-	header := cellsHeader
-	if len(recs[0]) == len(cellsHeaderBurst) {
+	var header []string
+	switch len(recs[0]) {
+	case len(cellsHeader):
+		header = cellsHeader
+	case len(cellsHeaderBurst):
 		header = cellsHeaderBurst
+	case len(cellsHeaderArray):
+		header = cellsHeaderArray
+	default:
+		return nil, fmt.Errorf("sweep: cells CSV header has %d columns, want %d, %d or %d",
+			len(recs[0]), len(cellsHeader), len(cellsHeaderBurst), len(cellsHeaderArray))
 	}
-	burst := len(header) == len(cellsHeaderBurst)
-	if len(recs[0]) != len(header) {
-		return nil, fmt.Errorf("sweep: cells CSV header has %d columns, want %d or %d",
-			len(recs[0]), len(cellsHeader), len(cellsHeaderBurst))
-	}
-	for i, col := range header {
-		if recs[0][i] != col {
-			return nil, fmt.Errorf("sweep: cells CSV header column %d = %q, want %q", i, recs[0][i], col)
+	col := make(map[string]int, len(header))
+	for i, name := range header {
+		if recs[0][i] != name {
+			return nil, fmt.Errorf("sweep: cells CSV header column %d = %q, want %q", i, recs[0][i], name)
 		}
-	}
-	// Column offset of everything at or past the optional burst_mult slot.
-	off := func(i int) int {
-		if burst && i >= burstIdx {
-			return i + 1
-		}
-		return i
+		col[name] = i
 	}
 	cells := make([]Cell, 0, len(recs)-1)
 	for _, rec := range recs[1:] {
-		c := Cell{BurstMult: 1} // legacy files predate the burst axis
+		// Files written before an axis existed carry its default.
+		c := Cell{BurstMult: 1, Volumes: 1}
 		var err error
 		c.Workload, c.Scheme = rec[0], rec[1]
-		if c.Replicates, err = strconv.Atoi(rec[off(4)]); err != nil {
+		if c.Replicates, err = strconv.Atoi(rec[col["replicates"]]); err != nil {
 			return nil, fmt.Errorf("sweep: cells CSV replicates: %w", err)
+		}
+		if i, ok := col["volumes"]; ok {
+			if c.Volumes, err = strconv.Atoi(rec[i]); err != nil {
+				return nil, fmt.Errorf("sweep: cells CSV volumes: %w", err)
+			}
 		}
 		fields := []struct {
 			dst *float64
 			s   string
 		}{
-			{&c.CacheMult, rec[2]}, {&c.RateFactor, rec[3]},
-			{&c.QMeanUS, rec[off(5)]}, {&c.QMinUS, rec[off(6)]}, {&c.QMaxUS, rec[off(7)]},
-			{&c.DiskQMeanUS, rec[off(8)]}, {&c.LatencyMeanUS, rec[off(9)]},
-			{&c.HitRatioMean, rec[off(10)]}, {&c.PolicyFlipsMean, rec[off(11)]},
-			{&c.SpeedupVsWB, rec[off(12)]}, {&c.SpeedupVsSIB, rec[off(13)]},
+			{&c.CacheMult, rec[col["cache_mult"]]}, {&c.RateFactor, rec[col["rate_factor"]]},
+			{&c.QMeanUS, rec[col["q_mean_us"]]}, {&c.QMinUS, rec[col["q_min_us"]]}, {&c.QMaxUS, rec[col["q_max_us"]]},
+			{&c.DiskQMeanUS, rec[col["disk_q_mean_us"]]}, {&c.LatencyMeanUS, rec[col["latency_mean_us"]]},
+			{&c.HitRatioMean, rec[col["hit_ratio_mean"]]}, {&c.PolicyFlipsMean, rec[col["policy_flips_mean"]]},
+			{&c.SpeedupVsWB, rec[col["speedup_vs_wb"]]}, {&c.SpeedupVsSIB, rec[col["speedup_vs_sib"]]},
 		}
-		if burst {
+		if i, ok := col["burst_mult"]; ok {
 			fields = append(fields, struct {
 				dst *float64
 				s   string
-			}{&c.BurstMult, rec[burstIdx]})
+			}{&c.BurstMult, rec[i]})
+		}
+		if i, ok := col["route_skew"]; ok {
+			fields = append(fields, struct {
+				dst *float64
+				s   string
+			}{&c.RouteSkew, rec[i]})
 		}
 		for _, f := range fields {
 			if *f.dst, err = strconv.ParseFloat(f.s, 64); err != nil {
@@ -190,19 +232,25 @@ func ParseCellsJSON(r io.Reader) ([]Cell, error) {
 
 // WriteReport renders the compact text report: the grid shape, a per-cell
 // table, and — when the sweep was interrupted — how much of it finished.
-// The burst-intensity column appears only when the grid actually sweeps
-// it, so reports without a burst axis render exactly as they always have.
+// The burst-intensity and array columns appear only when the grid
+// actually sweeps them, so reports without those axes render exactly as
+// they always have.
 func WriteReport(w io.Writer, res *Result) error {
 	g := res.Grid
 	burst := len(g.BurstMults) > 1 || hasBurstAxis(res.Cells)
+	arr := len(g.Volumes) > 1 || len(g.RouteSkews) > 1 || hasArrayAxis(res.Cells)
 	burstShape := ""
 	if burst {
 		burstShape = fmt.Sprintf(" × %d bursts", len(g.BurstMults))
 	}
+	arrShape := ""
+	if arr {
+		arrShape = fmt.Sprintf(" × %d widths × %d skews", len(g.Volumes), len(g.RouteSkews))
+	}
 	if _, err := fmt.Fprintf(w,
-		"sweep: %d workloads × %d schemes × %d cache sizes × %d rates%s × %d seeds = %d runs (%d completed)\n\n",
+		"sweep: %d workloads × %d schemes × %d cache sizes × %d rates%s%s × %d seeds = %d runs (%d completed)\n\n",
 		len(g.Workloads), len(g.Schemes), len(g.CacheMults), len(g.RateFactors),
-		burstShape, g.Replicates, res.Total, res.Completed); err != nil {
+		burstShape, arrShape, g.Replicates, res.Total, res.Completed); err != nil {
 		return err
 	}
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', tabwriter.AlignRight)
@@ -210,7 +258,11 @@ func WriteReport(w io.Writer, res *Result) error {
 	if burst {
 		burstCol = "burst×\t"
 	}
-	fmt.Fprintln(tw, "workload\tscheme\tcache×\trate×\t"+burstCol+"reps\tq mean µs\tq min µs\tq max µs\tdisk q µs\tlat µs\thit\tflips\tvs WB\tvs SIB\t")
+	arrCol := ""
+	if arr {
+		arrCol = "vols\tskew\t"
+	}
+	fmt.Fprintln(tw, "workload\tscheme\tcache×\trate×\t"+burstCol+arrCol+"reps\tq mean µs\tq min µs\tq max µs\tdisk q µs\tlat µs\thit\tflips\tvs WB\tvs SIB\t")
 	for _, c := range res.Cells {
 		vsWB, vsSIB := "-", "-"
 		if c.SpeedupVsWB != 0 {
@@ -223,8 +275,12 @@ func WriteReport(w io.Writer, res *Result) error {
 		if burst {
 			burstVal = fmt.Sprintf("%g\t", c.BurstMult)
 		}
-		fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%s%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\t%.1f\t%s\t%s\t\n",
-			c.Workload, c.Scheme, c.CacheMult, c.RateFactor, burstVal, c.Replicates,
+		arrVal := ""
+		if arr {
+			arrVal = fmt.Sprintf("%d\t%g\t", c.Volumes, c.RouteSkew)
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%g\t%g\t%s%s%d\t%.1f\t%.1f\t%.1f\t%.1f\t%.1f\t%.3f\t%.1f\t%s\t%s\t\n",
+			c.Workload, c.Scheme, c.CacheMult, c.RateFactor, burstVal, arrVal, c.Replicates,
 			c.QMeanUS, c.QMinUS, c.QMaxUS, c.DiskQMeanUS,
 			c.LatencyMeanUS, c.HitRatioMean, c.PolicyFlipsMean, vsWB, vsSIB)
 	}

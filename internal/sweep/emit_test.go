@@ -13,8 +13,8 @@ import (
 // fuzz round-trip corpus entries.
 func TestCellsCSVHostileNames(t *testing.T) {
 	cells := []Cell{
-		{Workload: `syn,"th"`, Scheme: "W\nB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Replicates: 1, QMeanUS: 2.5},
-		{Workload: "burst-mix-on6x-duty0.45-read0.35", Scheme: "LBICA", CacheMult: 0.5, RateFactor: 2, BurstMult: 2, Replicates: 3, QMeanUS: 7},
+		{Workload: `syn,"th"`, Scheme: "W\nB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Volumes: 1, Replicates: 1, QMeanUS: 2.5},
+		{Workload: "burst-mix-on6x-duty0.45-read0.35", Scheme: "LBICA", CacheMult: 0.5, RateFactor: 2, BurstMult: 2, Volumes: 1, Replicates: 3, QMeanUS: 7},
 	}
 	var buf bytes.Buffer
 	if err := WriteCellsCSV(&buf, cells); err != nil {
@@ -29,13 +29,15 @@ func TestCellsCSVHostileNames(t *testing.T) {
 	}
 }
 
-// TestCellsCSVSchemaCompatibility pins the two accepted layouts: cells at
-// the default burst multiplier emit the legacy 14-column header (so
-// pre-burst-axis artifacts stay byte-identical), any other multiplier
-// switches to the extended header, and legacy files parse with BurstMult
-// defaulted to 1.
+// TestCellsCSVSchemaCompatibility pins the three accepted layouts: cells
+// at the default burst multiplier and a single unsharded volume emit the
+// legacy 14-column header (so pre-burst-axis artifacts stay
+// byte-identical), an off-default multiplier switches to the burst
+// header, an off-default volume count or route skew to the array header,
+// and older files parse with the missing coordinates defaulted (BurstMult
+// 1, Volumes 1, RouteSkew 0).
 func TestCellsCSVSchemaCompatibility(t *testing.T) {
-	legacy := []Cell{{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Replicates: 2, QMeanUS: 3}}
+	legacy := []Cell{{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Volumes: 1, Replicates: 2, QMeanUS: 3}}
 	var buf bytes.Buffer
 	if err := WriteCellsCSV(&buf, legacy); err != nil {
 		t.Fatal(err)
@@ -51,7 +53,7 @@ func TestCellsCSVSchemaCompatibility(t *testing.T) {
 		t.Errorf("legacy layout round trip diverged: %+v vs %+v", legacy, back)
 	}
 
-	burst := []Cell{{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 2, Replicates: 2, QMeanUS: 3}}
+	burst := []Cell{{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 2, Volumes: 1, Replicates: 2, QMeanUS: 3}}
 	buf.Reset()
 	if err := WriteCellsCSV(&buf, burst); err != nil {
 		t.Fatal(err)
@@ -75,7 +77,26 @@ func TestCellsCSVSchemaCompatibility(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(cells) != 1 || cells[0].BurstMult != 1 {
-		t.Errorf("legacy file parsed to %+v, want BurstMult 1", cells)
+	if len(cells) != 1 || cells[0].BurstMult != 1 || cells[0].Volumes != 1 || cells[0].RouteSkew != 0 {
+		t.Errorf("legacy file parsed to %+v, want BurstMult 1, Volumes 1, RouteSkew 0", cells)
+	}
+
+	// The array layout round-trips volumes and route skew, and burst-only
+	// cells never pay for the array columns.
+	arr := []Cell{{Workload: "tpcc", Scheme: "LBICA", CacheMult: 1, RateFactor: 1, BurstMult: 1, Volumes: 4, RouteSkew: 1.2, Replicates: 2, QMeanUS: 3}}
+	buf.Reset()
+	if err := WriteCellsCSV(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	head := strings.SplitN(buf.String(), "\n", 2)[0]
+	if !strings.Contains(head, "volumes") || !strings.Contains(head, "route_skew") || !strings.Contains(head, "burst_mult") {
+		t.Errorf("array-axis cells emitted header %q, want the array layout", head)
+	}
+	back, err = ParseCellsCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(arr, back) {
+		t.Errorf("array layout round trip diverged: %+v vs %+v", arr, back)
 	}
 }

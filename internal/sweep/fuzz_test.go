@@ -54,6 +54,8 @@ func cellsFromBytes(data []byte) []Cell {
 			CacheMult:       f64(),
 			RateFactor:      f64(),
 			BurstMult:       f64(),
+			Volumes:         1 + int(next(1)[0])%4,
+			RouteSkew:       f64(),
 			Replicates:      int(binary.LittleEndian.Uint16(next(2))),
 			QMeanUS:         f64(),
 			QMinUS:          f64(),
@@ -86,7 +88,9 @@ func FuzzCellsCSVRoundTrip(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xff}, 200))
 	f.Add([]byte("3 some bytes that decode to cells with, commas \"quotes\" and\nnewlines"))
 	// A registry-style hostile workload name (comma + quote) with
-	// BurstMult bits decoding to exactly 1.0 — the legacy-layout branch.
+	// BurstMult bits decoding to exactly 1.0 — the legacy-layout branch
+	// (the exhausted input zero-pads the array fields to their defaults:
+	// Volumes 1, RouteSkew 0).
 	f.Add([]byte{1, 5, 66, 77, 12, 2, 88, 2, 44, 12,
 		0, 0, 0, 0, 0, 0, 0, 0, // CacheMult 0
 		0, 0, 0, 0, 0, 0, 0, 0, // RateFactor 0
@@ -143,6 +147,8 @@ func FuzzParseCellsCSV(f *testing.F) {
 	// Legacy layout with a quoted name: parse must default BurstMult to 1
 	// and re-emit the legacy header.
 	f.Add([]byte("workload,scheme,cache_mult,rate_factor,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\n\"a,b\",WB,1,1,2,3.5,1,8,100,250.25,0.75,0,1.5,0.9\n"))
+	// The array layout (volumes/route_skew columns) with a hostile name.
+	f.Add([]byte("workload,scheme,cache_mult,rate_factor,burst_mult,volumes,route_skew,replicates,q_mean_us,q_min_us,q_max_us,disk_q_mean_us,latency_mean_us,hit_ratio_mean,policy_flips_mean,speedup_vs_wb,speedup_vs_sib\n\"syn,\"\"th\"\"\",LBICA,1,1,2,4,1.2,3,3.5,1,8,100,250.25,0.75,0,1.5,0.9\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		cells, err := ParseCellsCSV(bytes.NewReader(data))
 		if err != nil {

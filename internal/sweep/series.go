@@ -82,11 +82,17 @@ func WriteRunSeriesCSV(w io.Writer, er *engine.Results) error {
 // SeriesFileName names a run's series file from its grid coordinates,
 // e.g. "series_tpcc_lbica_cm0.5_rf1_bm2_r0.csv". Workload names come from
 // the open registry and may contain anything, so they are sanitized to a
-// filesystem-safe alphabet.
+// filesystem-safe alphabet. Array coordinates appear only off their
+// defaults ("..._bm1_v4_rs1.2_r0.csv"), so single-volume sweeps keep
+// their historical file names byte for byte.
 func SeriesFileName(pt Point) string {
-	return fmt.Sprintf("series_%s_%s_cm%g_rf%g_bm%g_r%d.csv",
+	arr := ""
+	if pt.Volumes > 1 || pt.RouteSkew != 0 {
+		arr = fmt.Sprintf("_v%d_rs%g", pt.Volumes, pt.RouteSkew)
+	}
+	return fmt.Sprintf("series_%s_%s_cm%g_rf%g_bm%g%s_r%d.csv",
 		sanitizeName(pt.Workload), sanitizeName(strings.ToLower(pt.Scheme)),
-		pt.CacheMult, pt.RateFactor, pt.BurstMult, pt.Replicate)
+		pt.CacheMult, pt.RateFactor, pt.BurstMult, arr, pt.Replicate)
 }
 
 // sanitizeName maps a workload/scheme name onto [a-z0-9._-]: every other

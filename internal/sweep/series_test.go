@@ -152,7 +152,7 @@ func TestSeriesFileNameSanitizesHostileNames(t *testing.T) {
 // TestSummarizeEmptyGroup guards the zero-replicate path: an interrupted
 // sweep must never panic aggregating an empty group.
 func TestSummarizeEmptyGroup(t *testing.T) {
-	c := summarize(cellKey{"tpcc", "WB", 1, 1, 1}, nil)
+	c := summarize(cellKey{"tpcc", "WB", 1, 1, 1, 1, 0}, nil)
 	if c.Replicates != 0 || c.Workload != "tpcc" || c.QMeanUS != 0 {
 		t.Errorf("empty group summarized to %+v, want a zero-metric cell with its coordinates", c)
 	}

@@ -1,6 +1,7 @@
 // Package sweep is the parameter-sweep subsystem: it expands a declarative
 // Grid (workloads × schemes × cache-size multipliers × rate factors ×
-// burst-intensity multipliers × seed replicates) into experiment specs,
+// burst-intensity multipliers × array volume counts × routing skews ×
+// seed replicates) into experiment specs,
 // fans them out through the bounded runner pool, and aggregates the
 // finished runs into per-cell summaries — mean/min/max max-queue-time,
 // LBICA-vs-baseline speedups, policy-flip counts — with CSV, JSON and
@@ -25,6 +26,7 @@ import (
 	"strings"
 	"time"
 
+	"lbica/internal/array"
 	"lbica/internal/engine"
 	"lbica/internal/experiments"
 	"lbica/internal/runner"
@@ -52,6 +54,17 @@ type Grid struct {
 	// cycle (experiments.Spec.BurstMult) — the burst-intensity axis. Empty
 	// = {1}, the workloads' published burst shapes.
 	BurstMults []float64 `json:"burst_mults"`
+	// Volumes is the array-width axis: each value shards the run across
+	// that many independent cache+disk volumes behind a deterministic
+	// router (experiments.Spec.Volumes). Empty = {1}, the paper's
+	// single-stack configuration.
+	Volumes []int `json:"volumes"`
+	// RouteSkews is the router-skew axis: the Zipf exponent of the
+	// router's volume-popularity distribution (0 = uniform routing).
+	// Empty = {0}. A non-zero skew requires every Volumes value > 1 — at
+	// one volume every skew routes identically, so the axis would only
+	// relabel duplicate runs.
+	RouteSkews []float64 `json:"route_skews"`
 	// Replicates is the number of seed replicates per cell (≥1). Replicate
 	// r runs with seed sim.Stream(Seed, r): every scheme of a replicate
 	// shares that seed (the controlled comparison), and the split depends
@@ -96,6 +109,12 @@ func (g Grid) Normalize() Grid {
 	}
 	if len(g.BurstMults) == 0 {
 		g.BurstMults = []float64{1}
+	}
+	if len(g.Volumes) == 0 {
+		g.Volumes = []int{1}
+	}
+	if len(g.RouteSkews) == 0 {
+		g.RouteSkews = []float64{0}
 	}
 	if g.Replicates < 1 {
 		g.Replicates = 1
@@ -166,12 +185,35 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: burst multiplier %v outside (0, 100]", bm)
 		}
 	}
+	allSharded := true
+	for _, v := range g.Volumes {
+		if v < 1 || v > array.MaxVolumes {
+			return fmt.Errorf("sweep: volume count %d outside [1, %d]", v, array.MaxVolumes)
+		}
+		if v == 1 {
+			allSharded = false
+		}
+	}
+	for _, rs := range g.RouteSkews {
+		if !(rs >= 0 && rs <= array.MaxSkew) {
+			return fmt.Errorf("sweep: route skew %v outside [0, %v]", rs, array.MaxSkew)
+		}
+		// At one volume every skew runs the identical simulation, so a
+		// skew axis over a Volumes axis containing 1 would re-run
+		// duplicate cells under different labels (the same hazard the
+		// duplicate-value rejection below guards against).
+		if rs != 0 && !allSharded {
+			return fmt.Errorf("sweep: route skew %v needs every volume count > 1 (skew is meaningless for a single volume)", rs)
+		}
+	}
 	for _, axis := range []struct{ name, dup string }{
 		{"workload", dupString(g.Workloads)},
 		{"scheme", dupString(g.Schemes)},
 		{"cache multiplier", dupFloat(g.CacheMults)},
 		{"rate factor", dupFloat(g.RateFactors)},
 		{"burst multiplier", dupFloat(g.BurstMults)},
+		{"volume count", dupInt(g.Volumes)},
+		{"route skew", dupFloat(g.RouteSkews)},
 	} {
 		if axis.dup != "" {
 			return fmt.Errorf("sweep: duplicate %s %s in grid axis", axis.name, axis.dup)
@@ -186,6 +228,18 @@ func dupString(vals []string) string {
 	for _, v := range vals {
 		if seen[v] {
 			return v
+		}
+		seen[v] = true
+	}
+	return ""
+}
+
+// dupInt returns the first repeated value formatted ("" if none).
+func dupInt(vals []int) string {
+	seen := make(map[int]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Sprintf("%d", v)
 		}
 		seen[v] = true
 	}
@@ -209,7 +263,7 @@ func dupFloat(vals []float64) string {
 func (g Grid) Size() int {
 	g = g.Normalize()
 	return len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) *
-		len(g.BurstMults) * g.Replicates
+		len(g.BurstMults) * len(g.Volumes) * len(g.RouteSkews) * g.Replicates
 }
 
 // Point is one expanded run: its grid coordinates plus the ready-to-run
@@ -220,15 +274,18 @@ type Point struct {
 	CacheMult  float64
 	RateFactor float64
 	BurstMult  float64
+	Volumes    int
+	RouteSkew  float64
 	Replicate  int
 	Spec       experiments.Spec
 }
 
 // Expand enumerates the grid in deterministic order — workload-major, then
-// cache multiplier, rate factor, burst multiplier, replicate, and scheme
-// innermost, so the schemes of one controlled comparison are adjacent in
-// the run order. Expansion is a pure function of the grid: the same Grid
-// always yields the same points in the same order.
+// cache multiplier, rate factor, burst multiplier, volume count, route
+// skew, replicate, and scheme innermost, so the schemes of one controlled
+// comparison are adjacent in the run order. Expansion is a pure function
+// of the grid: the same Grid always yields the same points in the same
+// order.
 func (g Grid) Expand() []Point {
 	g = g.Normalize()
 	pts := make([]Point, 0, g.Size())
@@ -236,27 +293,41 @@ func (g Grid) Expand() []Point {
 		for _, cm := range g.CacheMults {
 			for _, rf := range g.RateFactors {
 				for _, bm := range g.BurstMults {
-					for rep := 0; rep < g.Replicates; rep++ {
-						seed := sim.Stream(g.Seed, rep)
-						for _, sc := range g.Schemes {
-							pts = append(pts, Point{
-								Workload:   wl,
-								Scheme:     sc,
-								CacheMult:  cm,
-								RateFactor: rf,
-								BurstMult:  bm,
-								Replicate:  rep,
-								Spec: experiments.Spec{
-									Workload:   wl,
-									Scheme:     sc,
-									Seed:       seed,
-									Intervals:  g.Intervals,
-									Interval:   g.Interval,
-									RateFactor: rf,
-									CacheMult:  cm,
-									BurstMult:  bm,
-								},
-							})
+					for _, vol := range g.Volumes {
+						for _, rs := range g.RouteSkews {
+							for rep := 0; rep < g.Replicates; rep++ {
+								seed := sim.Stream(g.Seed, rep)
+								for _, sc := range g.Schemes {
+									pts = append(pts, Point{
+										Workload:   wl,
+										Scheme:     sc,
+										CacheMult:  cm,
+										RateFactor: rf,
+										BurstMult:  bm,
+										Volumes:    vol,
+										RouteSkew:  rs,
+										Replicate:  rep,
+										Spec: experiments.Spec{
+											Workload:   wl,
+											Scheme:     sc,
+											Seed:       seed,
+											Intervals:  g.Intervals,
+											Interval:   g.Interval,
+											RateFactor: rf,
+											CacheMult:  cm,
+											BurstMult:  bm,
+											Volumes:    vol,
+											RouteSkew:  rs,
+											// The cell pool already saturates the cores;
+											// a second GOMAXPROCS-wide shard pool per array
+											// cell would oversubscribe the CPU multiplicatively.
+											// Output is byte-identical for any shard worker
+											// count, so serial shards cost nothing but heat.
+											ShardWorkers: 1,
+										},
+									})
+								}
+							}
 						}
 					}
 				}
@@ -276,6 +347,8 @@ type Run struct {
 	CacheMult    float64 `json:"cache_mult"`
 	RateFactor   float64 `json:"rate_factor"`
 	BurstMult    float64 `json:"burst_mult"`
+	Volumes      int     `json:"volumes"`
+	RouteSkew    float64 `json:"route_skew"`
 	Replicate    int     `json:"replicate"`
 	Seed         int64   `json:"seed"`
 	QMeanUS      float64 `json:"q_mean_us"`
@@ -368,6 +441,8 @@ func newRun(pt Point, er *engine.Results) Run {
 		CacheMult:    pt.CacheMult,
 		RateFactor:   pt.RateFactor,
 		BurstMult:    pt.BurstMult,
+		Volumes:      pt.Volumes,
+		RouteSkew:    pt.RouteSkew,
 		Replicate:    pt.Replicate,
 		Seed:         pt.Spec.Seed,
 		QMeanUS:      er.CacheLoadMean() / 1e3,

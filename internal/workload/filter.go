@@ -1,0 +1,80 @@
+package workload
+
+// Filter wraps a generator, emitting only the requests a predicate keeps —
+// the stream-splitting primitive under the multi-volume array router. Each
+// volume of an array replays the *same* base stream (same seed, same RNG
+// stream name, so the copies are bit-identical) through its own Filter,
+// and the predicate — a pure function of the request sequence — decides
+// which subsequence this volume owns. Because every copy sees every
+// request in arrival order, per-volume arrival order is preserved and a
+// stateful predicate (e.g. a router drawing one RNG value per request)
+// advances identically on every volume.
+type Filter struct {
+	inner Generator
+	keep  func(Request) bool
+
+	hot      func(block int64) bool
+	hotScale int
+}
+
+// NewFilter wraps inner so only requests keep accepts are emitted. keep is
+// called exactly once per inner request, in stream order — including the
+// requests it rejects — so stateful predicates stay in lockstep across the
+// array's volume copies.
+func NewFilter(inner Generator, keep func(Request) bool) *Filter {
+	return &Filter{inner: inner, keep: keep}
+}
+
+// WithHotFilter restricts HotBlocks to blocks the hot predicate accepts —
+// for affine routing policies, a volume only prewarms blocks that can ever
+// be routed to it. scale (≥1) is the overfetch factor: the filter requests
+// scale×n candidates from the inner generator before filtering, so a
+// volume owning ~1/scale of the address space still fills its prewarm
+// quota. It returns the filter for chaining.
+func (f *Filter) WithHotFilter(hot func(block int64) bool, scale int) *Filter {
+	if scale < 1 {
+		scale = 1
+	}
+	f.hot, f.hotScale = hot, scale
+	return f
+}
+
+// Name implements Generator.
+func (f *Filter) Name() string { return f.inner.Name() }
+
+// Next implements Generator: it pulls from the inner stream until a
+// request passes the predicate or the stream ends.
+func (f *Filter) Next() (Request, bool) {
+	for {
+		r, ok := f.inner.Next()
+		if !ok {
+			return Request{}, false
+		}
+		if f.keep(r) {
+			return r, true
+		}
+	}
+}
+
+// HotBlocks forwards the inner generator's prewarm set (nil when the inner
+// generator has none), filtered when a hot predicate is installed.
+func (f *Filter) HotBlocks(n int) []int64 {
+	h, ok := f.inner.(interface{ HotBlocks(int) []int64 })
+	if !ok {
+		return nil
+	}
+	if f.hot == nil {
+		return h.HotBlocks(n)
+	}
+	out := make([]int64, 0, n)
+	for _, b := range h.HotBlocks(n * f.hotScale) {
+		if !f.hot(b) {
+			continue
+		}
+		out = append(out, b)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"lbica/internal/sim"
+)
+
+// Two filters with complementary predicates over bit-identical copies of
+// the same stream must partition it: every request lands in exactly one
+// sub-stream, in arrival order.
+func TestFilterPartitionsStream(t *testing.T) {
+	build := func() Generator {
+		return TPCC(Scale{Intervals: 4}, sim.NewRNG(3, "workload:tpcc"))
+	}
+	full := drain(build(), 1<<30)
+	if len(full) < 100 {
+		t.Fatalf("base stream too short to test: %d requests", len(full))
+	}
+	even := drain(NewFilter(build(), func(r Request) bool { return r.Extent.LBA%16 == 0 }), 1<<30)
+	odd := drain(NewFilter(build(), func(r Request) bool { return r.Extent.LBA%16 != 0 }), 1<<30)
+	if len(even)+len(odd) != len(full) {
+		t.Fatalf("partition lost requests: %d + %d != %d", len(even), len(odd), len(full))
+	}
+	if len(even) == 0 || len(odd) == 0 {
+		t.Fatalf("degenerate partition: %d / %d", len(even), len(odd))
+	}
+	// Interleave check: merging the two sub-streams by arrival time (they
+	// are subsequences of one stream, so stable order is preserved) must
+	// reproduce the full stream exactly.
+	merged := make([]Request, 0, len(full))
+	i, j := 0, 0
+	for _, r := range full {
+		switch {
+		case i < len(even) && even[i] == r:
+			merged = append(merged, even[i])
+			i++
+		case j < len(odd) && odd[j] == r:
+			merged = append(merged, odd[j])
+			j++
+		default:
+			t.Fatalf("request %+v in neither sub-stream at its position", r)
+		}
+	}
+	if !reflect.DeepEqual(merged, full) {
+		t.Fatal("merged sub-streams differ from the base stream")
+	}
+}
+
+// A stateful predicate must see every request, including rejected ones, so
+// its state advances in lockstep with a sibling filter over a stream copy.
+func TestFilterPredicateSeesRejectedRequests(t *testing.T) {
+	base := TPCC(Scale{Intervals: 2}, sim.NewRNG(1, "workload:tpcc"))
+	n := 0
+	f := NewFilter(base, func(Request) bool { n++; return n%3 == 0 })
+	kept := drain(f, 1<<30)
+	if n < len(kept)*3-2 || len(kept) == 0 {
+		t.Fatalf("predicate saw %d requests for %d kept — rejected requests skipped?", n, len(kept))
+	}
+}
+
+func TestFilterName(t *testing.T) {
+	f := NewFilter(TPCC(Scale{Intervals: 1}, sim.NewRNG(1, "workload:tpcc")), func(Request) bool { return true })
+	if f.Name() != "tpcc" {
+		t.Errorf("Name() = %q, want tpcc", f.Name())
+	}
+}
+
+func TestFilterHotBlocks(t *testing.T) {
+	mk := func() Generator { return TPCC(Scale{Intervals: 2}, sim.NewRNG(1, "workload:tpcc")) }
+	inner := mk()
+	want := inner.(interface{ HotBlocks(int) []int64 }).HotBlocks(64)
+
+	// No hot predicate: forwarded verbatim.
+	got := NewFilter(mk(), func(Request) bool { return true }).HotBlocks(64)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("HotBlocks without predicate not forwarded: %v vs %v", got, want)
+	}
+
+	// Predicate keeps only even blocks: result is filtered, capped at n,
+	// and drawn from an overfetched candidate set.
+	f := NewFilter(mk(), func(Request) bool { return true }).
+		WithHotFilter(func(b int64) bool { return b%2 == 0 }, 2)
+	hot := f.HotBlocks(16)
+	if len(hot) == 0 || len(hot) > 16 {
+		t.Fatalf("filtered HotBlocks returned %d blocks", len(hot))
+	}
+	for _, b := range hot {
+		if b%2 != 0 {
+			t.Errorf("hot block %d fails the predicate", b)
+		}
+	}
+
+	// A generator without HotBlocks yields nil.
+	re := NewReplay("r", []Request{{}})
+	if got := NewFilter(re, func(Request) bool { return true }).HotBlocks(8); got != nil {
+		t.Errorf("HotBlocks over a Replay = %v, want nil", got)
+	}
+}

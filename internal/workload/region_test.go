@@ -25,7 +25,7 @@ func TestSplitRegionsSeparateReadsAndWrites(t *testing.T) {
 	}
 	reads, writes := 0, 0
 	for _, r := range reqs {
-		blockNum := r.Extent.LBA / blockSectors
+		blockNum := r.Extent.LBA / BlockSectors
 		if r.Op == block.Read {
 			reads++
 			if blockNum < 0 || blockNum >= 4096 {
@@ -48,7 +48,7 @@ func TestSharedRegionWhenWriteRegionUnset(t *testing.T) {
 	p.WriteWorkingSetBlocks = 0
 	g := NewPhaseGen("shared", []Phase{p}, sim.NewRNG(32, "w"))
 	for _, r := range drain(g, 20000) {
-		blockNum := r.Extent.LBA / blockSectors
+		blockNum := r.Extent.LBA / BlockSectors
 		if blockNum < 0 || blockNum >= 4096 {
 			t.Fatalf("%v at block %d outside the shared region", r.Op, blockNum)
 		}
@@ -60,7 +60,7 @@ func TestWebServerRegionsDisjoint(t *testing.T) {
 	g := WebServer(s, sim.NewRNG(33, "w"))
 	reqs := drain(g, 200000)
 	for _, r := range reqs {
-		blockNum := r.Extent.LBA / blockSectors
+		blockNum := r.Extent.LBA / BlockSectors
 		if r.Op == block.Write && blockNum < 1<<22 {
 			t.Fatalf("web write at block %d inside the content region", blockNum)
 		}
@@ -86,7 +86,7 @@ func TestSequentialRunsPerRegion(t *testing.T) {
 	p.Sequential = 0.9
 	g := NewPhaseGen("seq-split", []Phase{p}, sim.NewRNG(35, "w"))
 	for _, r := range drain(g, 50000) {
-		blockNum := r.Extent.LBA / blockSectors
+		blockNum := r.Extent.LBA / BlockSectors
 		inWrite := blockNum >= 1<<20
 		if r.Op == block.Write && !inWrite {
 			t.Fatal("sequential write escaped its region")

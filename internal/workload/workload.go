@@ -78,8 +78,11 @@ type Phase struct {
 // writeRegion reports whether writes use a separate address region.
 func (p *Phase) writeRegion() bool { return p.WriteWorkingSetBlocks > 0 }
 
-// blockSectors is the addressing granularity phases are defined in (4 KiB).
-const blockSectors = 8
+// BlockSectors is the addressing granularity phases are defined in
+// (8 sectors = 4 KiB). Exported because the array router's block-affine
+// hash policy must agree with it: a volume's prewarm filter routes the
+// same block numbers the generated LBAs decompose back into.
+const BlockSectors = 8
 
 // scramblePrime spreads Zipf ranks across the working set so hot blocks are
 // not physically clustered.
@@ -244,11 +247,11 @@ func (p *PhaseGen) Next() (Request, bool) {
 			op = block.Read
 		}
 
-		size := int64(blockSectors)
+		size := int64(BlockSectors)
 		if len(ph.SizesSectors) > 0 {
 			size = ph.SizesSectors[p.g.Intn(len(ph.SizesSectors))]
 		}
-		sizeBlocks := (size + blockSectors - 1) / blockSectors
+		sizeBlocks := (size + BlockSectors - 1) / BlockSectors
 
 		// Pick the address region: writes may own a separate one.
 		base, ws := ph.BaseBlock, ph.WorkingSetBlocks
@@ -278,7 +281,7 @@ func (p *PhaseGen) Next() (Request, bool) {
 		return Request{
 			At:     p.cursor,
 			Op:     op,
-			Extent: block.Extent{LBA: startBlock * blockSectors, Sectors: size},
+			Extent: block.Extent{LBA: startBlock * BlockSectors, Sectors: size},
 		}, true
 	}
 }

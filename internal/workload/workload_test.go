@@ -38,7 +38,7 @@ func TestArrivalsAreTimeOrderedAndBounded(t *testing.T) {
 		if r.Extent.Sectors <= 0 {
 			t.Fatal("non-positive request size")
 		}
-		lo, hi := int64(0), int64(1024*blockSectors)
+		lo, hi := int64(0), int64(1024*BlockSectors)
 		if r.Extent.LBA < lo || r.Extent.End() > hi {
 			t.Fatalf("address %v outside working set [%d,%d)", r.Extent, lo, hi)
 		}
@@ -102,7 +102,7 @@ func TestZipfLocalitySkew(t *testing.T) {
 	reqs := drain(g, 100000)
 	counts := map[int64]int{}
 	for _, r := range reqs {
-		counts[r.Extent.LBA/blockSectors]++
+		counts[r.Extent.LBA/BlockSectors]++
 	}
 	// With Zipf 0.8 the most popular block must be far above the uniform
 	// expectation.
@@ -145,7 +145,7 @@ func TestPhaseTransitions(t *testing.T) {
 			}
 		} else {
 			sawSecond = true
-			if r.Op != block.Write || r.Extent.LBA < (1<<20)*blockSectors {
+			if r.Op != block.Write || r.Extent.LBA < (1<<20)*BlockSectors {
 				t.Fatalf("phase-b request wrong: %+v", r)
 			}
 		}

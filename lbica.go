@@ -46,6 +46,35 @@
 // specs[i]. RunContext is the single-run variant with cancellation: a
 // cancelled context stops the virtual clock at the next event boundary
 // and returns the partial report.
+//
+// # Multi-volume arrays
+//
+// The paper evaluates one SSD-cache/disk stack; Options.Volumes scales
+// that to a fleet. One run then hosts N volumes — each a full
+// cache+SSD-queue+disk-subsystem stack with its own balancer instance —
+// fed by a deterministic router that splits the workload stream across
+// them (Options.RoutePolicy: "uniform", block-affine "hash", or "zipf"
+// with Options.RouteSkew skewing volume popularity — the hot-shard
+// regime). Volumes share no state, so the run shards volume-per-core
+// (Options.ShardWorkers) and merges per-volume results
+// order-independently: the report's top-level fields become the
+// array-level view (loads show the bottleneck volume, latency quantiles
+// cover every request) and Report.PerVolume carries each volume's own
+// report:
+//
+//	report, _ := lbica.Run(lbica.Options{
+//		Workload: "tpcc", Scheme: "lbica",
+//		Volumes: 8, RouteSkew: 1.2, // 8 volumes, Zipf-hot routing
+//	})
+//	for v, vr := range report.PerVolume {
+//		fmt.Printf("v%d: %v\n", v, vr.Summary.AvgLatency)
+//	}
+//
+// The determinism guarantee extends to arrays: output is byte-identical
+// for every ShardWorkers value, and Volumes: 1 (or unset) runs the exact
+// single-stack pipeline of the paper harness. Options.Thresholds exposes
+// LBICA's census-classifier calibration for sensitivity probes (zero
+// fields inherit the paper defaults).
 package lbica
 
 import (
@@ -56,6 +85,7 @@ import (
 	"strings"
 	"time"
 
+	"lbica/internal/array"
 	"lbica/internal/cache"
 	"lbica/internal/core"
 	"lbica/internal/engine"
@@ -164,6 +194,36 @@ type Options struct {
 	// Replacement selects the cache's in-set victim policy: "lru"
 	// (default), "fifo" or "rand" — EnhanceIO's three options.
 	Replacement string
+
+	// Volumes is the array width: how many independent cache+disk volumes
+	// one run shards the workload across (0 or 1 = the paper's single
+	// stack, which bypasses the array layer entirely). Each volume is a
+	// full stack with its own balancer instance; a deterministic router
+	// splits the stream, the volumes run volume-per-core, and the report's
+	// top-level fields become the array-level merge (per-volume reports
+	// ride in Report.PerVolume). TraceWriter and RecordTo require a single
+	// volume; ReplayFrom works at any width (the recorded stream is routed
+	// like a generated one).
+	Volumes int
+	// RoutePolicy selects how the array router splits the stream:
+	// "uniform" (spread independent of address), "hash" (block-affine —
+	// every block always lands on the same volume) or "zipf" (volume
+	// popularity skewed by RouteSkew). Empty means "zipf" when RouteSkew
+	// > 0 and "uniform" otherwise. Requires Volumes > 1.
+	RoutePolicy string
+	// RouteSkew is the Zipf exponent of the router's volume-popularity
+	// distribution (0 = uniform weights) — the skewed-routing regime
+	// where some volumes run hot. Requires Volumes > 1.
+	RouteSkew float64
+	// ShardWorkers caps the array's volume-per-core fan-out (≤0 =
+	// GOMAXPROCS; 1 = serial). Output is byte-identical for every value.
+	ShardWorkers int
+
+	// Thresholds overrides LBICA's census-classifier calibration. The
+	// zero value is the paper's calibrated defaults, and zero fields
+	// inherit their default individually, so only the fields you set
+	// change. Ignored by schemes other than "lbica".
+	Thresholds Thresholds
 	// DiskElevator dispatches the disk queue in LOOK (elevator) order and
 	// switches the disk model to distance-proportional seeks — a more
 	// detailed rotational model than the calibrated default.
@@ -171,6 +231,39 @@ type Options struct {
 	// DisablePrewarm starts the cache cold instead of preloading the
 	// workload's hottest blocks.
 	DisablePrewarm bool
+}
+
+// Thresholds tunes LBICA's census classifier (paper §III-B): the minimum
+// shares of the SSD queue's R/W/P/E mix that classify each workload
+// group. The zero value is the paper's calibrated defaults; zero fields
+// inherit their default individually. All share fields are fractions in
+// [0, 1].
+type Thresholds struct {
+	// DominantPair is the minimum combined share of a group's two request
+	// types.
+	DominantPair float64
+	// MemberMin is the minimum individual share of each member of the
+	// pair.
+	MemberMin float64
+	// PromoteAlone is the promote share that classifies Group 4 (seq
+	// read) on its own.
+	PromoteAlone float64
+	// ReadAlone is the application-read share that classifies Group 1
+	// (random read) on its own.
+	ReadAlone float64
+	// MinQueued is the minimum census population worth classifying.
+	MinQueued int
+}
+
+// coreThresholds converts to the balancer's internal representation.
+func (t Thresholds) coreThresholds() core.Thresholds {
+	return core.Thresholds{
+		DominantPair: t.DominantPair,
+		MemberMin:    t.MemberMin,
+		PromoteAlone: t.PromoteAlone,
+		ReadAlone:    t.ReadAlone,
+		MinQueued:    t.MinQueued,
+	}
 }
 
 // PolicyEvent is one write-policy decision in the run's timeline.
@@ -219,7 +312,11 @@ type Summary struct {
 	HDDWrittenMiB float64
 }
 
-// Report is a finished run.
+// Report is a finished run. For an array run (Options.Volumes > 1) the
+// top-level fields are the array-level merge — loads show the bottleneck
+// volume, counters and latency quantiles cover every request, and each
+// policy event's Group carries its volume ("v2:G3/random-write") — while
+// PerVolume holds each volume's own full report.
 type Report struct {
 	Workload string
 	Scheme   string
@@ -229,6 +326,11 @@ type Report struct {
 	Intervals      []Interval
 	Policies       []PolicyEvent
 	Summary        Summary
+
+	// PerVolume, for an array run, holds the per-volume reports indexed
+	// by volume address (a nil slot is a volume a cancellation stopped
+	// before it completed). Nil for single-volume runs.
+	PerVolume []*Report
 }
 
 // Run executes one simulation.
@@ -248,6 +350,16 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 	if o.Intervals < 0 || o.IntervalLength < 0 || o.RateFactor < 0 {
 		return nil, fmt.Errorf("lbica: negative Intervals/IntervalLength/RateFactor (got %d, %v, %v); zero means default",
 			o.Intervals, o.IntervalLength, o.RateFactor)
+	}
+	if o.Volumes < 0 {
+		return nil, fmt.Errorf("lbica: negative Volumes %d; zero means the single-stack default", o.Volumes)
+	}
+	if o.Volumes <= 1 && (o.RoutePolicy != "" || o.RouteSkew != 0) {
+		return nil, fmt.Errorf("lbica: RoutePolicy %q / RouteSkew %v set on a single-volume run; routing needs Volumes > 1",
+			o.RoutePolicy, o.RouteSkew)
+	}
+	if err := o.Thresholds.coreThresholds().Validate(); err != nil {
+		return nil, fmt.Errorf("lbica: %w", err)
 	}
 	if o.Workload == "" && len(o.Phases) == 0 {
 		o.Workload = WorkloadTPCC
@@ -271,8 +383,11 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 			o.Intervals = 200
 		}
 	}
+	if o.Volumes > 1 {
+		return runArrayContext(ctx, o)
+	}
 
-	gen, err := buildWorkload(o)
+	gen, err := buildWorkload(o, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -280,47 +395,14 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 	if o.RecordTo != nil {
 		gen = workload.NewTee(gen, &recorded)
 	}
-	bal, initial, err := buildScheme(o.Scheme)
+	bal, initial, err := buildScheme(o)
 	if err != nil {
 		return nil, err
 	}
 
-	cfg := engine.DefaultConfig()
-	cfg.Seed = o.Seed
-	cfg.MonitorEvery = o.IntervalLength
-	cfg.Cache.InitialPolicy = initial
-	if o.Replacement != "" {
-		repl, err := cache.ParseReplacement(o.Replacement)
-		if err != nil {
-			return nil, err
-		}
-		cfg.Cache.Replacement = repl
-		cfg.Cache.ReplacementSeed = o.Seed
-	}
-	if o.DiskElevator {
-		cfg.HDDDiscipline = ioqueue.LookDispatch
-		cfg.HDD.DistanceSeek = true
-	}
-	if o.CacheMiB > 0 {
-		blocks := o.CacheMiB * 1024 / 4 // 4 KiB blocks
-		ways := cfg.Cache.Ways
-		if o.CacheWays > 0 {
-			ways = o.CacheWays
-		}
-		if blocks < ways {
-			return nil, fmt.Errorf("lbica: cache of %d MiB cannot hold %d ways", o.CacheMiB, ways)
-		}
-		cfg.Cache.Ways = ways
-		cfg.Cache.Sets = blocks / ways
-	} else if o.CacheWays > 0 {
-		total := cfg.Cache.Sets * cfg.Cache.Ways
-		cfg.Cache.Ways = o.CacheWays
-		cfg.Cache.Sets = total / o.CacheWays
-	}
-	if o.DisablePrewarm {
-		cfg.PrewarmBlocks = 0
-	} else {
-		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
+	cfg, err := buildEngineConfig(o, initial)
+	if err != nil {
+		return nil, err
 	}
 
 	var bw *trace.BinaryWriter
@@ -363,7 +445,145 @@ func defaultIntervals(wl string) int {
 	return 200
 }
 
-func buildWorkload(o Options) (workload.Generator, error) {
+// buildEngineConfig assembles the stack configuration from the defaulted
+// options: cache geometry, replacement policy, disk discipline, prewarm.
+// Trace wiring stays with the caller (the array path rejects it).
+func buildEngineConfig(o Options, initial cache.Policy) (engine.Config, error) {
+	cfg := engine.DefaultConfig()
+	cfg.Seed = o.Seed
+	cfg.MonitorEvery = o.IntervalLength
+	cfg.Cache.InitialPolicy = initial
+	if o.Replacement != "" {
+		repl, err := cache.ParseReplacement(o.Replacement)
+		if err != nil {
+			return engine.Config{}, err
+		}
+		cfg.Cache.Replacement = repl
+		cfg.Cache.ReplacementSeed = o.Seed
+	}
+	if o.DiskElevator {
+		cfg.HDDDiscipline = ioqueue.LookDispatch
+		cfg.HDD.DistanceSeek = true
+	}
+	if o.CacheMiB > 0 {
+		blocks := o.CacheMiB * 1024 / 4 // 4 KiB blocks
+		ways := cfg.Cache.Ways
+		if o.CacheWays > 0 {
+			ways = o.CacheWays
+		}
+		if blocks < ways {
+			return engine.Config{}, fmt.Errorf("lbica: cache of %d MiB cannot hold %d ways", o.CacheMiB, ways)
+		}
+		cfg.Cache.Ways = ways
+		cfg.Cache.Sets = blocks / ways
+	} else if o.CacheWays > 0 {
+		total := cfg.Cache.Sets * cfg.Cache.Ways
+		cfg.Cache.Ways = o.CacheWays
+		cfg.Cache.Sets = total / o.CacheWays
+	}
+	if o.DisablePrewarm {
+		cfg.PrewarmBlocks = 0
+	} else {
+		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
+	}
+	return cfg, nil
+}
+
+// runArrayContext is RunContext's multi-volume path: each volume is a
+// full stack with its own balancer instance, fed its routed sub-stream by
+// sibling routers in lockstep over bit-identical copies of the workload,
+// sharded volume-per-core and merged order-independently. The report's
+// top-level fields are the array-level merge; per-volume reports ride in
+// Report.PerVolume.
+func runArrayContext(ctx context.Context, o Options) (*Report, error) {
+	// A shared trace or record writer would interleave the volumes'
+	// streams nondeterministically; refuse rather than emit garbage.
+	if o.TraceWriter != nil || o.RecordTo != nil {
+		return nil, fmt.Errorf("lbica: TraceWriter/RecordTo require Volumes <= 1 (per-volume streams would interleave)")
+	}
+	pol, err := array.ParsePolicy(o.RoutePolicy)
+	if err != nil {
+		return nil, fmt.Errorf("lbica: %w", err)
+	}
+	if o.RoutePolicy == "" && o.RouteSkew > 0 {
+		pol = array.Zipf
+	}
+	acfg := array.Config{Volumes: o.Volumes, Policy: pol, Skew: o.RouteSkew, Workers: o.ShardWorkers}
+	if err := acfg.Validate(); err != nil {
+		return nil, fmt.Errorf("lbica: %w", err)
+	}
+	// A replay stream is read once and shared read-only: every volume
+	// routes the same recorded requests, exactly like a generated stream.
+	var replay []workload.Request
+	if o.ReplayFrom != nil {
+		if replay, err = workload.LoadRequests(o.ReplayFrom); err != nil {
+			return nil, fmt.Errorf("lbica: loading replay stream: %w", err)
+		}
+	}
+	_, initial, err := buildScheme(o)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := buildEngineConfig(o, initial)
+	if err != nil {
+		return nil, err
+	}
+
+	ares, runErr := array.Run(ctx, acfg, o.Intervals, func(vol int) (*engine.Stack, error) {
+		vcfg := cfg
+		// Per-volume device/replacement streams: each volume is its own
+		// hardware. The workload copy keeps the *base* seed — every volume
+		// must replay the bit-identical stream for the routers to agree.
+		vcfg.Seed = sim.Stream(o.Seed, vol)
+		vcfg.Volume = vol
+		if o.Replacement != "" {
+			vcfg.Cache.ReplacementSeed = vcfg.Seed
+		}
+		gen, err := buildWorkload(o, replay)
+		if err != nil {
+			return nil, err
+		}
+		bal, _, err := buildScheme(o) // fresh balancer instance per volume
+		if err != nil {
+			return nil, err
+		}
+		return engine.New(vcfg, array.VolumeGen(gen, acfg.NewRouter(o.Seed), vol), bal), nil
+	})
+
+	rep := buildReport(o, ares.Merged)
+	rep.PerVolume = make([]*Report, len(ares.PerVolume))
+	complete := true
+	for v, vres := range ares.PerVolume {
+		if vres == nil {
+			complete = false
+			continue
+		}
+		rep.PerVolume[v] = buildReport(o, vres)
+		if len(vres.Samples) < o.Intervals {
+			complete = false
+		}
+	}
+	// Mirror the single-stack rule: a cancellation that arrives only
+	// after every volume sampled every requested interval changed
+	// nothing — the report is complete, not partial.
+	if runErr != nil && complete && ctx.Err() != nil && errors.Is(runErr, ctx.Err()) {
+		runErr = nil
+	}
+	return rep, runErr
+}
+
+// buildWorkload assembles the run's generator. replay, when non-nil, is a
+// pre-loaded recorded stream (the array path reads ReplayFrom once and
+// hands every volume the same requests); otherwise ReplayFrom is read
+// here.
+func buildWorkload(o Options, replay []workload.Request) (workload.Generator, error) {
+	if replay != nil {
+		name := o.Name
+		if name == "" {
+			name = "replay"
+		}
+		return workload.NewReplay(name, replay), nil
+	}
 	if o.ReplayFrom != nil {
 		reqs, err := workload.LoadRequests(o.ReplayFrom)
 		if err != nil {
@@ -437,14 +657,19 @@ func buildWorkload(o Options) (workload.Generator, error) {
 	}
 }
 
-func buildScheme(scheme string) (engine.Balancer, cache.Policy, error) {
-	switch strings.ToLower(scheme) {
+// buildScheme assembles a fresh balancer instance (array volumes each get
+// their own) plus the scheme's initial cache policy. o.Thresholds has
+// already been validated; it only reaches the LBICA classifier.
+func buildScheme(o Options) (engine.Balancer, cache.Policy, error) {
+	switch strings.ToLower(o.Scheme) {
 	case SchemeWB:
 		return nil, cache.WB, nil
 	case SchemeSIB:
 		return sib.New(sib.DefaultConfig()), cache.WTWO, nil
 	case SchemeLBICA:
-		return core.New(core.DefaultConfig()), cache.WB, nil
+		cfg := core.DefaultConfig()
+		cfg.Thresholds = o.Thresholds.coreThresholds().Normalize()
+		return core.New(cfg), cache.WB, nil
 	case SchemeStaticWT:
 		return nil, cache.WT, nil
 	case SchemeStaticRO:
@@ -454,7 +679,7 @@ func buildScheme(scheme string) (engine.Balancer, cache.Policy, error) {
 	case SchemeStaticWTWO:
 		return nil, cache.WTWO, nil
 	default:
-		return nil, cache.WB, fmt.Errorf("lbica: unknown scheme %q", scheme)
+		return nil, cache.WB, fmt.Errorf("lbica: unknown scheme %q", o.Scheme)
 	}
 }
 

@@ -31,6 +31,14 @@ type GridSpec struct {
 	// bursting phase's ON-rate and ON/OFF duty cycle (empty = {1}, the
 	// workloads' published burst shapes).
 	BurstMults []float64
+	// Volumes is the array-width axis: each value shards every run across
+	// that many independent cache+disk volumes behind a deterministic
+	// router (empty = {1}, the paper's single stack).
+	Volumes []int
+	// RouteSkews is the router-skew axis: the Zipf exponent of the
+	// router's volume-popularity distribution (0 = uniform routing; empty
+	// = {0}). Non-zero skews require every Volumes value > 1.
+	RouteSkews []float64
 	// SeedReplicates is the number of seed replicates per cell (default 1).
 	// Replicate r derives its seed from (Seed, r) alone, and every scheme
 	// inside a replicate shares it — the paper's controlled comparison.
@@ -67,6 +75,8 @@ type SweepRun struct {
 	CacheMult    float64
 	RateFactor   float64
 	BurstMult    float64
+	Volumes      int
+	RouteSkew    float64
 	Replicate    int
 	Seed         int64
 	QMeanUS      float64
@@ -88,6 +98,8 @@ type SweepCell struct {
 	CacheMult       float64
 	RateFactor      float64
 	BurstMult       float64
+	Volumes         int
+	RouteSkew       float64
 	Replicates      int
 	QMeanUS         float64
 	QMinUS          float64
@@ -130,6 +142,8 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 		CacheMults:  g.CacheMults,
 		RateFactors: g.RateFactors,
 		BurstMults:  g.BurstMults,
+		Volumes:     g.Volumes,
+		RouteSkews:  g.RouteSkews,
 		Replicates:  g.SeedReplicates,
 		Seed:        g.Seed,
 		Intervals:   g.Intervals,
