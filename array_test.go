@@ -20,6 +20,8 @@ func TestArrayParallelMatchesSerial(t *testing.T) {
 		{"uniform", Options{Workload: "tpcc", Scheme: "lbica", Intervals: 8, Volumes: 4}},
 		{"hash", Options{Workload: "mail", Scheme: "lbica", Intervals: 8, Volumes: 4, RoutePolicy: "hash"}},
 		{"zipf", Options{Workload: "web", Scheme: "wb", Intervals: 8, Volumes: 4, RouteSkew: 1.2}},
+		{"array-lb", Options{Workload: "tpcc", Scheme: "array-lb", Intervals: 8, Volumes: 4, RouteSkew: 1.2}},
+		{"array-lb-p2c", Options{Workload: "tpcc", Scheme: "array-lb", Intervals: 8, Volumes: 4, RouteVariant: "p2c"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serialOpts, parallelOpts := tc.opts, tc.opts
@@ -157,10 +159,36 @@ func TestArrayOptionValidation(t *testing.T) {
 		"trace under array":    {Volumes: 2, TraceWriter: &bytes.Buffer{}},
 		"record under array":   {Volumes: 2, RecordTo: &bytes.Buffer{}},
 		"negative min queued":  {Thresholds: Thresholds{MinQueued: -5}},
+
+		"policy under array-lb":    {Scheme: "array-lb", Volumes: 2, RoutePolicy: "zipf", RouteSkew: 1},
+		"bad route variant":        {Scheme: "array-lb", Volumes: 2, RouteVariant: "nope"},
+		"variant without array-lb": {Scheme: "lbica", Volumes: 2, RouteVariant: "p2c"},
+		"trace under array-lb":     {Scheme: "array-lb", Volumes: 2, TraceWriter: &bytes.Buffer{}},
 	} {
 		if _, err := Run(o); err == nil {
 			t.Errorf("%s: Run accepted %+v", name, o)
 		}
+	}
+}
+
+// Scheme "array-lb" at one volume degenerates to the single-stack LBICA
+// pipeline, relabeled — the array controller has nothing to balance.
+func TestArrayLBSingleVolumeDegenerates(t *testing.T) {
+	lb, err := Run(Options{Workload: "tpcc", Scheme: "lbica", Intervals: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	alb, err := Run(Options{Workload: "tpcc", Scheme: "array-lb", Intervals: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alb.Scheme != "ARRAY-LB" {
+		t.Fatalf("degenerate run labeled %q, want ARRAY-LB", alb.Scheme)
+	}
+	relabel := *lb
+	relabel.Scheme = "ARRAY-LB"
+	if !reflect.DeepEqual(alb, &relabel) {
+		t.Fatal("single-volume array-lb differs from plain LBICA beyond the label")
 	}
 }
 

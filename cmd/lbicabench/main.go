@@ -32,6 +32,16 @@
 //
 //	lbicabench -volumes 4 -summary
 //	lbicabench -perf -perf-filter shard
+//
+// `-perf -perf-filter array` measures the array-lb controller's
+// overhead on the pinned hot-shard regime (static vs controlled
+// routing) — the command that regenerates BENCH_array.json — and
+// -perf-check is the CI gate around such a committed baseline: it
+// reruns exactly the baseline's benchmarks at its recorded scale and
+// exits non-zero on any regression beyond the tolerance band:
+//
+//	lbicabench -perf -perf-filter array > BENCH_array.json
+//	lbicabench -perf-check BENCH_array.json
 package main
 
 import (
@@ -52,6 +62,49 @@ import (
 
 func main() { cli.Main("lbicabench", run) }
 
+// runPerfCheck is the CI perf gate: load a committed perf baseline,
+// rerun exactly its benchmarks at its recorded matrix scale, and fail on
+// any breach of the tolerance band (allocs tight, wall time loose — see
+// perf.Check). The fresh measurements go to stdout as JSON so a failing
+// run leaves a diffable artifact.
+func runPerfCheck(path string, stdout, stderr io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var base perf.Report
+	dec := json.NewDecoder(f)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&base); err != nil {
+		return fmt.Errorf("lbicabench: parsing baseline %s: %w", path, err)
+	}
+	if len(base.Results) == 0 {
+		return fmt.Errorf("lbicabench: baseline %s names no benchmarks", path)
+	}
+	names := make([]string, len(base.Results))
+	for i, r := range base.Results {
+		names[i] = r.Name
+	}
+	fmt.Fprintf(stderr, "perf check: rerunning %d benchmarks from %s (matrix intervals %d)...\n",
+		len(names), path, base.Intervals)
+	cur := perf.RunExact(names, base.Intervals)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cur); err != nil {
+		return err
+	}
+	breaches := perf.Check(base, cur)
+	for _, b := range breaches {
+		fmt.Fprintln(stderr, "perf check: REGRESSION:", b)
+	}
+	if len(breaches) > 0 {
+		return fmt.Errorf("lbicabench: %d perf regressions against %s", len(breaches), path)
+	}
+	fmt.Fprintf(stderr, "perf check: all %d benchmarks within tolerance of %s\n", len(names), path)
+	return nil
+}
+
 // run is the testable body of main: flags in, CSV/summary out.
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("lbicabench", flag.ContinueOnError)
@@ -68,11 +121,15 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		routeSkew  = fs.Float64("route-skew", 0, "router Zipf skew over volume popularity (0 = uniform routing; needs -volumes > 1)")
 		perfMode   = fs.Bool("perf", false, "run the hot-path benchmark suite and emit JSON results on stdout")
 		perfFilter = fs.String("perf-filter", "", "with -perf: run only benchmarks whose name contains this substring")
+		perfCheck  = fs.String("perf-check", "", "rerun the benchmarks named in this committed baseline JSON at its recorded scale and fail on any regression beyond the tolerance band")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
 	}
 
+	if *perfCheck != "" {
+		return runPerfCheck(*perfCheck, stdout, stderr)
+	}
 	if *perfMode {
 		rep := perf.Run(*perfFilter, *intervals)
 		enc := json.NewEncoder(stdout)

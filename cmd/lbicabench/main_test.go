@@ -100,6 +100,65 @@ func TestRunPerfMode(t *testing.T) {
 	}
 }
 
+// -perf-check reruns a committed baseline's benchmarks and gates on the
+// tolerance band: a self-consistent baseline passes, an absurdly fast
+// one fails with named regressions, and a missing or malformed baseline
+// file is an error before any benchmark runs.
+func TestRunPerfCheck(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rep perf.Report) string {
+		t.Helper()
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Generous baseline for a cheap microbenchmark: must pass.
+	pass := write("pass.json", perf.Report{Intervals: 1, Results: []perf.Result{
+		{Name: "kernel/schedule-cancel", NsPerOp: 1e9, AllocsPerOp: 1 << 20},
+	}})
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-perf-check", pass}, &out, &errBuf); err != nil {
+		t.Fatalf("generous baseline failed: %v (stderr: %s)", err, errBuf.String())
+	}
+	var rep perf.Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatalf("stdout is not a perf report: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(errBuf.String(), "within tolerance") {
+		t.Errorf("pass verdict missing from stderr:\n%s", errBuf.String())
+	}
+
+	// Unreachable baseline plus a vanished benchmark: must fail and name
+	// both breaches.
+	fail := write("fail.json", perf.Report{Intervals: 1, Results: []perf.Result{
+		{Name: "kernel/schedule-cancel", NsPerOp: 1e-6, AllocsPerOp: 0},
+		{Name: "no/such-bench", NsPerOp: 1, AllocsPerOp: 1},
+	}})
+	out.Reset()
+	errBuf.Reset()
+	if err := run(t.Context(), []string{"-perf-check", fail}, &out, &errBuf); err == nil {
+		t.Fatal("regressed baseline passed the perf check")
+	}
+	if s := errBuf.String(); !strings.Contains(s, "kernel/schedule-cancel") || !strings.Contains(s, "no/such-bench") {
+		t.Errorf("breaches not named on stderr:\n%s", s)
+	}
+
+	if err := run(t.Context(), []string{"-perf-check", filepath.Join(dir, "absent.json")}, &out, &errBuf); err == nil {
+		t.Error("missing baseline file passed")
+	}
+	empty := write("empty.json", perf.Report{})
+	if err := run(t.Context(), []string{"-perf-check", empty}, &out, &errBuf); err == nil {
+		t.Error("baseline naming no benchmarks passed")
+	}
+}
+
 // -volumes threads the array width through the whole matrix; bad values
 // are usage errors.
 func TestRunArrayMatrix(t *testing.T) {

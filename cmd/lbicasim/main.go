@@ -8,6 +8,7 @@
 //	lbicasim -workload tpcc -scheme wb -intervals 50 -csv
 //	lbicasim -workload web -scheme sib -trace run.trc
 //	lbicasim -workload tpcc -volumes 4 -route-skew 1.2   # sharded array
+//	lbicasim -workload tpcc -scheme array-lb -volumes 3 -route-skew 1.2
 package main
 
 import (
@@ -31,7 +32,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.SetOutput(stderr)
 	var (
 		workloadName = fs.String("workload", "tpcc", "workload: tpcc|mail|web|random-read|random-write|seq-read|seq-write|mixed")
-		scheme       = fs.String("scheme", "lbica", "scheme: wb|sib|lbica or a static policy wt|ro|wo|wtwo")
+		scheme       = fs.String("scheme", "lbica", "scheme: wb|sib|lbica|array-lb or a static policy wt|ro|wo|wtwo")
 		seed         = fs.Int64("seed", 1, "random seed (runs with equal seeds are bit-identical)")
 		intervals    = fs.Int("intervals", 0, "monitor intervals to run (0 = paper default for the workload)")
 		interval     = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
@@ -43,7 +44,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		cacheMiB     = fs.Int("cache-mib", 0, "cache size in MiB (0 = default 256)")
 		volumes      = fs.Int("volumes", 0, "shard the run across this many independent cache+disk volumes (0/1 = single stack)")
 		routePolicy  = fs.String("route-policy", "", "array routing policy: uniform|hash|zipf (needs -volumes > 1)")
-		routeSkew    = fs.Float64("route-skew", 0, "router Zipf skew over volume popularity (needs -volumes > 1)")
+		routeSkew    = fs.Float64("route-skew", 0, "router Zipf skew over volume popularity (needs -volumes > 1; under -scheme array-lb it seeds the controller's initial weights)")
+		routeVariant = fs.String("route-variant", "", "array-lb controller routing mechanism: weighted|p2c (needs -scheme array-lb)")
 		shardWorkers = fs.Int("shard-workers", 0, "array shard pool size (0 = GOMAXPROCS, 1 = serial)")
 		cold         = fs.Bool("cold", false, "start with a cold cache (skip prewarm)")
 		configPath   = fs.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
@@ -75,6 +77,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Volumes:        *volumes,
 		RoutePolicy:    *routePolicy,
 		RouteSkew:      *routeSkew,
+		RouteVariant:   *routeVariant,
 		ShardWorkers:   *shardWorkers,
 	}
 	if *configPath != "" {

@@ -51,6 +51,19 @@
 // imbalanced-fleet regime:
 //
 //	lbicasweep -workloads tpcc -schemes wb,lbica -volumes 2,4 -route-skew 0,1.2
+//
+// Skew is inert at one volume, so mixed-width grids work in one
+// invocation — width-1 cells canonicalize to the skew-0 cell and the
+// collapsed combinations are logged, not fatal:
+//
+//	lbicasweep -volumes 1,4 -route-skew 0,1.2
+//
+// Scheme array-lb adds the array-level controller (adaptive routing +
+// hot-block migration) on top of per-volume LBICA; -route-variant picks
+// its routing mechanism:
+//
+//	lbicasweep -workloads tpcc -schemes lbica,array-lb -volumes 3 \
+//	    -route-skew 1.2 -route-variant weighted
 package main
 
 import (
@@ -132,23 +145,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	fs.StringVar(&workloads, "workloads", "", workloadHelp)
 	fs.StringVar(&workloads, "workload", "", "alias for -workloads")
 	var (
-		schemes    = fs.String("schemes", "", "comma list of schemes: wb,sib,lbica (empty = all)")
-		cacheMult  = fs.String("cache-mult", "1", "comma list of cache-size multipliers (1 = the paper's 256 MiB)")
-		rate       = fs.String("rate", "1", "comma list of workload IOPS scale factors")
-		burstMult  = fs.String("burst-mult", "1", "comma list of burst-intensity multipliers scaling every bursting phase's ON rate and duty cycle (1 = the published burst shapes)")
-		volumes    = fs.String("volumes", "1", "comma list of array widths: shard each run across this many independent cache+disk volumes (1 = the paper's single stack)")
-		routeSkew  = fs.String("route-skew", "0", "comma list of router Zipf skews over volume popularity (0 = uniform routing; non-zero needs every -volumes value > 1)")
-		seeds      = fs.Int("seeds", 1, "seed replicates per cell (replicate seeds derive from -seed)")
-		seed       = fs.Int64("seed", 1, "base random seed")
-		intervals  = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
-		interval   = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
-		workers    = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
-		format     = fs.String("format", "text", "stdout format: text|csv|json")
-		out        = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
-		seriesDir  = fs.String("series-dir", "", "write each cell's per-interval series (cache/disk load, hit ratio, group, policy) as one CSV into this directory")
-		quiet      = fs.Bool("q", false, "suppress the progress log on stderr")
-		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProfile = fs.String("memprofile", "", "write a heap profile (post-sweep) to this file")
+		schemes      = fs.String("schemes", "", "comma list of schemes: wb,sib,lbica,array-lb (empty = the paper trio wb,sib,lbica)")
+		cacheMult    = fs.String("cache-mult", "1", "comma list of cache-size multipliers (1 = the paper's 256 MiB)")
+		rate         = fs.String("rate", "1", "comma list of workload IOPS scale factors")
+		burstMult    = fs.String("burst-mult", "1", "comma list of burst-intensity multipliers scaling every bursting phase's ON rate and duty cycle (1 = the published burst shapes)")
+		volumes      = fs.String("volumes", "1", "comma list of array widths: shard each run across this many independent cache+disk volumes (1 = the paper's single stack)")
+		routeSkew    = fs.String("route-skew", "0", "comma list of router Zipf skews over volume popularity (0 = uniform routing; inert at one volume — width-1 cells collapse to skew 0)")
+		routeVariant = fs.String("route-variant", "", "array-lb controller routing mechanism: weighted|p2c (empty = weighted; other schemes ignore it)")
+		seeds        = fs.Int("seeds", 1, "seed replicates per cell (replicate seeds derive from -seed)")
+		seed         = fs.Int64("seed", 1, "base random seed")
+		intervals    = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
+		interval     = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
+		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
+		format       = fs.String("format", "text", "stdout format: text|csv|json")
+		out          = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
+		seriesDir    = fs.String("series-dir", "", "write each cell's per-interval series (cache/disk load, hit ratio, group, policy) as one CSV into this directory")
+		quiet        = fs.Bool("q", false, "suppress the progress log on stderr")
+		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProfile   = fs.String("memprofile", "", "write a heap profile (post-sweep) to this file")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
@@ -202,6 +216,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		BurstMults:     bursts,
 		Volumes:        vols,
 		RouteSkews:     skews,
+		RouteVariant:   *routeVariant,
 		SeedReplicates: *seeds,
 		Seed:           *seed,
 		Intervals:      *intervals,
@@ -224,6 +239,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	if errors.Is(runErr, context.Canceled) || errors.Is(runErr, context.DeadlineExceeded) {
 		fmt.Fprintf(stderr, "lbicasweep: sweep interrupted — partial report over %d/%d runs follows\n",
 			res.Completed, res.Total)
+	}
+	if !*quiet {
+		// Combinations the expansion canonicalized away (inert skew at
+		// width 1) are a notice, not an error — the text report repeats
+		// them, but csv/json stdout would swallow them silently.
+		for _, s := range res.Skipped {
+			fmt.Fprintln(stderr, "lbicasweep: skipped:", s)
+		}
 	}
 
 	var emitErr error

@@ -246,11 +246,32 @@ func TestRunArrayAxes(t *testing.T) {
 		{"-volumes", "0"},
 		{"-volumes", "x"},
 		{"-volumes", "2", "-route-skew", "-1"},
-		{"-volumes", "1,2", "-route-skew", "1.2"},
+		{"-volumes", "2", "-route-variant", "nope"},
 	} {
 		var o, e strings.Builder
 		if err := run(t.Context(), append(args, "-intervals", "2", "-q"), &o, &e); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// A mixed-width grid with a non-zero skew runs in one invocation: skew is
+// inert at one volume, so the width-1 cells canonicalize to skew 0 and
+// the collapsed combinations land in the log instead of failing the run.
+func TestRunMixedWidthSkew(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workloads", "tpcc", "-schemes", "wb", "-volumes", "1,4",
+			"-route-skew", "0,1.2", "-intervals", "2", "-format", "csv"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	// 3 cells survive: (1,0), (4,0), (4,1.2) — the (1,1.2) combo collapses.
+	if got, want := len(strings.Split(strings.TrimSpace(out.String()), "\n"))-1, 3; got != want {
+		t.Errorf("emitted %d cells, want %d:\n%s", got, want, out.String())
+	}
+	if !strings.Contains(errBuf.String(), "skipped") || !strings.Contains(errBuf.String(), "1.2") {
+		t.Errorf("stderr does not log the collapsed combination:\n%s", errBuf.String())
 	}
 }

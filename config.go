@@ -30,6 +30,7 @@ type optionsJSON struct {
 	Volumes      int             `json:"volumes,omitempty"`
 	RoutePolicy  string          `json:"route_policy,omitempty"`
 	RouteSkew    float64         `json:"route_skew,omitempty"`
+	RouteVariant string          `json:"route_variant,omitempty"`
 	ShardWorkers int             `json:"shard_workers,omitempty"`
 	Thresholds   *thresholdsJSON `json:"thresholds,omitempty"`
 }
@@ -85,6 +86,7 @@ func LoadOptions(r io.Reader) (Options, error) {
 		Volumes:        j.Volumes,
 		RoutePolicy:    j.RoutePolicy,
 		RouteSkew:      j.RouteSkew,
+		RouteVariant:   j.RouteVariant,
 		ShardWorkers:   j.ShardWorkers,
 	}
 	if j.Thresholds != nil {
@@ -146,6 +148,7 @@ func SaveOptions(w io.Writer, o Options) error {
 		Volumes:        o.Volumes,
 		RoutePolicy:    o.RoutePolicy,
 		RouteSkew:      o.RouteSkew,
+		RouteVariant:   o.RouteVariant,
 		ShardWorkers:   o.ShardWorkers,
 	}
 	if o.Thresholds != (Thresholds{}) {

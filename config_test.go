@@ -11,7 +11,7 @@ import (
 func TestOptionsJSONRoundTrip(t *testing.T) {
 	orig := Options{
 		Workload:       "mail",
-		Scheme:         "lbica",
+		Scheme:         "array-lb",
 		Seed:           7,
 		Intervals:      50,
 		IntervalLength: 150 * time.Millisecond,
@@ -22,6 +22,10 @@ func TestOptionsJSONRoundTrip(t *testing.T) {
 		Replacement:    "fifo",
 		DiskElevator:   true,
 		DisablePrewarm: true,
+		Volumes:        3,
+		RouteSkew:      1.2,
+		RouteVariant:   "p2c",
+		ShardWorkers:   2,
 		Phases: []Phase{
 			{
 				Name: "p1", Duration: time.Second, BaseIOPS: 1000, BurstIOPS: 5000,

@@ -343,6 +343,8 @@ func sumCacheStats(a, b cache.Stats) cache.Stats {
 		PolicySwitches: a.PolicySwitches + b.PolicySwitches,
 		BypassedReads:  a.BypassedReads + b.BypassedReads,
 		BypassedWr:     a.BypassedWr + b.BypassedWr,
+		MigratedOut:    a.MigratedOut + b.MigratedOut,
+		MigratedIn:     a.MigratedIn + b.MigratedIn,
 	}
 }
 

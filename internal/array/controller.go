@@ -1,0 +1,529 @@
+package array
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"lbica/internal/engine"
+	"lbica/internal/runner"
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+// Variant selects the array controller's adaptive routing mechanism.
+type Variant uint8
+
+// Routing variants of the array-lb controller.
+const (
+	// Weighted recomputes a volume-popularity distribution every monitor
+	// interval from measured per-volume load — KnapsackLB-style inverse-
+	// load weighting, smoothed by an EMA and floored so no volume starves.
+	Weighted Variant = iota
+	// PowerOfTwo draws two candidate volumes per request and routes to the
+	// one with the lower load estimate (measured interval load, scaled by
+	// how many requests this interval already routed there).
+	PowerOfTwo
+)
+
+var variantNames = [...]string{"weighted", "p2c"}
+
+func (v Variant) String() string {
+	if int(v) < len(variantNames) {
+		return variantNames[v]
+	}
+	return fmt.Sprintf("Variant(%d)", int(v))
+}
+
+// ParseVariant resolves an adaptive-routing variant name ("" = weighted).
+func ParseVariant(s string) (Variant, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "weighted":
+		return Weighted, nil
+	case "p2c", "power-of-two":
+		return PowerOfTwo, nil
+	default:
+		return Weighted, fmt.Errorf("array: unknown route variant %q (want weighted|p2c)", s)
+	}
+}
+
+// ControllerConfig describes an array-lb run: the array shape plus the
+// controller's adaptation knobs. The zero value of every knob means "use
+// the default" (see the field comments), so callers only set what they
+// sweep.
+type ControllerConfig struct {
+	// Volumes is the array width (≥ 1).
+	Volumes int
+	// Skew is the Zipf exponent of the *initial* routing weights — the
+	// controller starts from the same skewed draw static Zipf routing
+	// would use (0 = uniform start) and adapts from the first measured
+	// interval on. This keeps the hot-shard regime comparable: array-lb
+	// at skew 1.2 faces the same interval-0 imbalance static routing does.
+	Skew float64
+	// Seed derives the controller's router RNG (stream "array:router",
+	// the same stream static routing draws from).
+	Seed int64
+	// Variant selects the adaptation mechanism (default Weighted).
+	Variant Variant
+	// TopK caps how many hot blocks migrate per decision (default 32).
+	TopK int
+	// Smoothing is the EMA coefficient applied to per-volume load
+	// estimates in (0, 1]; higher reacts faster (default 0.5).
+	Smoothing float64
+	// MinShare floors every volume's routing weight at MinShare/Volumes,
+	// in [0, 1), so adaptation never starves a volume of traffic — a
+	// starved volume measures zero load and could otherwise never
+	// rejoin (default 0.25).
+	MinShare float64
+	// MigrateRatio is the migration trigger: hot blocks move only while
+	// the bottleneck volume's load estimate exceeds MigrateRatio × the
+	// coldest volume's (> 1; default 1.25).
+	MigrateRatio float64
+	// MaxPins caps the routing pin table the migrations accumulate
+	// (default 4096). At the cap, migration stops; routing adaptation
+	// continues.
+	MaxPins int
+	// Workers caps the shard pool (≤0 = GOMAXPROCS; 1 = the serial
+	// baseline the determinism test compares against).
+	Workers int
+}
+
+// withDefaults fills zero knobs with the controller defaults.
+func (c ControllerConfig) withDefaults() ControllerConfig {
+	if c.TopK == 0 {
+		c.TopK = 32
+	}
+	if c.Smoothing == 0 {
+		c.Smoothing = 0.5
+	}
+	if c.MinShare == 0 {
+		c.MinShare = 0.25
+	}
+	if c.MigrateRatio == 0 {
+		c.MigrateRatio = 1.25
+	}
+	if c.MaxPins == 0 {
+		c.MaxPins = 4096
+	}
+	return c
+}
+
+// Validate reports the first invalid field (after defaulting).
+func (c ControllerConfig) Validate() error {
+	if c.Volumes < 1 || c.Volumes > MaxVolumes {
+		return fmt.Errorf("array: volume count %d outside [1, %d]", c.Volumes, MaxVolumes)
+	}
+	if !(c.Skew >= 0 && c.Skew <= MaxSkew) {
+		return fmt.Errorf("array: route skew %v outside [0, %v]", c.Skew, MaxSkew)
+	}
+	if c.TopK < 0 {
+		return fmt.Errorf("array: controller top-K %d negative", c.TopK)
+	}
+	if !(c.Smoothing > 0 && c.Smoothing <= 1) {
+		return fmt.Errorf("array: controller smoothing %v outside (0, 1]", c.Smoothing)
+	}
+	if !(c.MinShare >= 0 && c.MinShare < 1) {
+		return fmt.Errorf("array: controller min share %v outside [0, 1)", c.MinShare)
+	}
+	if c.MigrateRatio <= 1 {
+		return fmt.Errorf("array: controller migrate ratio %v must exceed 1", c.MigrateRatio)
+	}
+	if c.MaxPins < 0 {
+		return fmt.Errorf("array: controller pin cap %d negative", c.MaxPins)
+	}
+	return nil
+}
+
+// adaptiveRouter is the controller-owned router: unlike the static
+// Router, exactly one instance exists per run (the controller routes the
+// base stream itself and feeds each volume its slice), so it carries
+// mutable state — weights, load estimates, migration pins — with no
+// lockstep-across-copies contract to honor.
+type adaptiveRouter struct {
+	n       int
+	variant Variant
+	rng     *sim.RNG
+
+	weights []float64 // Weighted: normalized volume shares
+	cdf     []float64 // Weighted: cumulative weights for the draw
+	est     []float64 // EMA load estimate per volume (µs-scale floats)
+	primed  bool      // est holds at least one observation
+	routed  []uint64  // PowerOfTwo: requests routed this interval
+
+	pins map[int64]int // block → volume, set by hot-block migration
+}
+
+func newAdaptiveRouter(cfg ControllerConfig) *adaptiveRouter {
+	rt := &adaptiveRouter{
+		n:       cfg.Volumes,
+		variant: cfg.Variant,
+		rng:     sim.NewRNG(cfg.Seed, "array:router"),
+		weights: make([]float64, cfg.Volumes),
+		cdf:     make([]float64, cfg.Volumes),
+		est:     make([]float64, cfg.Volumes),
+		routed:  make([]uint64, cfg.Volumes),
+		pins:    make(map[int64]int),
+	}
+	// Start from the static Zipf draw's distribution (uniform at skew 0):
+	// interval 0 has no measurements, and matching the static router's
+	// starting point makes before/after comparisons read cleanly.
+	sum := 0.0
+	for v := 0; v < rt.n; v++ {
+		rt.weights[v] = 1 / math.Pow(float64(v+1), cfg.Skew)
+		sum += rt.weights[v]
+	}
+	for v := range rt.weights {
+		rt.weights[v] /= sum
+	}
+	rt.rebuildCDF()
+	return rt
+}
+
+func (rt *adaptiveRouter) rebuildCDF() {
+	sum := 0.0
+	for v, w := range rt.weights {
+		sum += w
+		rt.cdf[v] = sum
+	}
+	for v := range rt.cdf {
+		rt.cdf[v] /= sum
+	}
+}
+
+// route assigns one request: pinned blocks go to their pin (no RNG
+// consumed), everything else through the variant's draw.
+func (rt *adaptiveRouter) route(req workload.Request) int {
+	if len(rt.pins) > 0 {
+		if v, ok := rt.pins[req.Extent.LBA/workload.BlockSectors]; ok {
+			rt.routed[v]++
+			return v
+		}
+	}
+	var v int
+	switch rt.variant {
+	case PowerOfTwo:
+		a := rt.rng.Intn(rt.n)
+		b := rt.rng.Intn(rt.n)
+		v = a
+		// Least loaded of the two: measured estimate scaled by this
+		// interval's routed count (+1 so a zero estimate still orders);
+		// ties go to the lower index.
+		sa := (rt.est[a] + 1) * float64(rt.routed[a]+1)
+		sb := (rt.est[b] + 1) * float64(rt.routed[b]+1)
+		if sb < sa || (sb == sa && b < a) {
+			v = b
+		}
+	default: // Weighted
+		u := rt.rng.Float64()
+		lo, hi := 0, rt.n-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if rt.cdf[mid] < u {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		v = lo
+	}
+	rt.routed[v]++
+	return v
+}
+
+// observe folds one interval's measured per-volume loads into the EMA
+// estimates and, for the Weighted variant, recomputes the routing weights
+// as floored, normalized inverse loads.
+func (rt *adaptiveRouter) observe(loads []float64, smoothing, minShare float64) {
+	for v := range rt.est {
+		if !rt.primed {
+			rt.est[v] = loads[v]
+		} else {
+			rt.est[v] = (1-smoothing)*rt.est[v] + smoothing*loads[v]
+		}
+	}
+	rt.primed = true
+	for v := range rt.routed {
+		rt.routed[v] = 0
+	}
+	if rt.variant != Weighted {
+		return
+	}
+	// Inverse-load weights. The epsilon keeps an idle volume finite; the
+	// floor keeps a slow volume from starving out of the measurement loop.
+	const eps = 1.0
+	sum := 0.0
+	for v := range rt.weights {
+		rt.weights[v] = 1 / (rt.est[v] + eps)
+		sum += rt.weights[v]
+	}
+	for v := range rt.weights {
+		rt.weights[v] /= sum
+	}
+	// Clamp to the floor exactly: floored volumes keep floor after the
+	// final normalization, so the remaining mass is redistributed over the
+	// unfloored weights only (iterating in case the scale-down pushes a
+	// previously safe weight under the floor). MinShare < 1 guarantees
+	// n·floor < 1, so the unfloored mass never goes negative.
+	floor := minShare / float64(rt.n)
+	for {
+		above, nBelow := 0.0, 0
+		for _, w := range rt.weights {
+			if w <= floor {
+				nBelow++
+			} else {
+				above += w
+			}
+		}
+		if nBelow == 0 || above == 0 {
+			break
+		}
+		scale := (1 - float64(nBelow)*floor) / above
+		again := false
+		for v, w := range rt.weights {
+			if w <= floor {
+				rt.weights[v] = floor
+			} else {
+				rt.weights[v] = w * scale
+				if rt.weights[v] < floor {
+					again = true
+				}
+			}
+		}
+		if !again {
+			break
+		}
+	}
+	rt.rebuildCDF()
+}
+
+// feedGen is the refillable per-volume generator under a controlled run:
+// the controller routes each interval's slice of the base stream into the
+// owning volume's feed before stepping it. It implements HotBlocks by
+// delegating to the base generator, so every volume prewarms the same
+// hottest set — exactly what static uniform/zipf routing prewarms, since
+// under both any block may be routed anywhere.
+type feedGen struct {
+	name string
+	hot  interface{ HotBlocks(int) []int64 }
+	reqs []workload.Request
+	pos  int
+}
+
+func (f *feedGen) Name() string { return f.name }
+
+func (f *feedGen) Next() (workload.Request, bool) {
+	if f.pos >= len(f.reqs) {
+		return workload.Request{}, false
+	}
+	r := f.reqs[f.pos]
+	f.pos++
+	return r, true
+}
+
+func (f *feedGen) HotBlocks(n int) []int64 {
+	if f.hot == nil {
+		return nil
+	}
+	return f.hot.HotBlocks(n)
+}
+
+func (f *feedGen) push(r workload.Request) {
+	if f.pos == len(f.reqs) {
+		// The volume consumed everything queued so far; recycle the slice
+		// so a long run doesn't retain the whole routed stream.
+		f.reqs = f.reqs[:0]
+		f.pos = 0
+	}
+	f.reqs = append(f.reqs, r)
+}
+
+// hotCount ranks a volume's blocks by interval arrival count for the
+// migration pick (count descending, block ascending — a total order, so
+// the pick is deterministic).
+type hotCount struct {
+	block int64
+	count uint64
+}
+
+// RunControlled executes an array-lb run: cfg.Volumes stacks advance in
+// lockstep, one monitor interval per round, with the controller routing
+// the base stream and re-deciding weights and migrations at every
+// interval barrier.
+//
+// Determinism contract: the controller routes requests and makes every
+// decision serially, between rounds, from state the barrier freezes —
+// each volume's closed interval Sample and the controller's own arrival
+// counts. Within a round the pool workers touch only their own volume's
+// stack, and runner.Map's completion wait orders every volume's round-N
+// writes before the controller's round-N reads (and the controller's
+// writes before every round-N+1 read). Merged output is therefore
+// byte-identical for every Workers value, including Workers == 1.
+//
+// build(vol, gen) must assemble volume vol's stack over gen — the
+// controller's per-volume feed — with MonitorEvery equal to monitorEvery.
+// The per-volume results land in Results.PerVolume exactly as for Run;
+// on cancellation only whole volumes are kept.
+func RunControlled(ctx context.Context, cfg ControllerConfig, intervals int, monitorEvery time.Duration, base workload.Generator,
+	build func(vol int, gen workload.Generator) (*engine.Stack, error)) (*Results, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if intervals < 1 {
+		intervals = 1
+	}
+	if monitorEvery <= 0 {
+		monitorEvery = 200 * time.Millisecond
+	}
+	n := cfg.Volumes
+
+	rt := newAdaptiveRouter(cfg)
+	hot, _ := base.(interface{ HotBlocks(int) []int64 })
+	feeds := make([]*feedGen, n)
+	stacks := make([]*engine.Stack, n)
+	for v := 0; v < n; v++ {
+		feeds[v] = &feedGen{name: base.Name(), hot: hot}
+		st, err := build(v, feeds[v])
+		if err != nil {
+			return nil, fmt.Errorf("array: building volume %d: %w", v, err)
+		}
+		stacks[v] = st
+		st.Start(ctx, intervals)
+	}
+
+	// Per-volume, per-interval arrival counts by 4 KiB block — the
+	// controller's hotness signal for the migration pick.
+	counts := make([]map[int64]uint64, n)
+	for v := range counts {
+		counts[v] = make(map[int64]uint64)
+	}
+
+	// One-request lookahead over the base stream: route everything that
+	// arrives strictly before the deadline (a request at exactly the
+	// boundary belongs to the next interval, after the controller acted).
+	pending, ok := base.Next()
+	routeBefore := func(deadline time.Duration) {
+		for ok && (deadline < 0 || pending.At < deadline) {
+			v := rt.route(pending)
+			feeds[v].push(pending)
+			counts[v][pending.Extent.LBA/workload.BlockSectors]++
+			pending, ok = base.Next()
+		}
+	}
+
+	loads := make([]float64, n)
+	runErr := ctx.Err()
+	for iv := 1; iv <= intervals && runErr == nil; iv++ {
+		deadline := time.Duration(iv) * monitorEvery
+		routeBefore(deadline)
+		_, err := runner.Map(ctx, n, runner.Options{Workers: cfg.Workers},
+			func(_ context.Context, v int) (struct{}, error) {
+				stacks[v].ResumeArrivals()
+				stacks[v].StepTo(deadline)
+				return struct{}{}, nil
+			})
+		if err != nil {
+			runErr = err
+			break
+		}
+		// Barrier: every volume is parked at deadline with interval iv-1's
+		// sample closed. Read the census, adapt, migrate — serially.
+		for v, st := range stacks {
+			loads[v] = 0
+			if s := st.Monitor().Samples(); len(s) > 0 {
+				last := s[len(s)-1]
+				loads[v] = float64(last.CacheLoad+last.DiskLoad) / float64(time.Microsecond)
+			}
+		}
+		rt.observe(loads, cfg.Smoothing, cfg.MinShare)
+		migrateHot(rt, stacks, counts, cfg)
+		for v := range counts {
+			clear(counts[v])
+		}
+	}
+
+	if runErr == nil {
+		// Stream remainder past the last interval (it lands in no sample
+		// but still executes, matching RunContext), then drain.
+		routeBefore(-1)
+		_, runErr = runner.Map(ctx, n, runner.Options{Workers: cfg.Workers},
+			func(_ context.Context, v int) (struct{}, error) {
+				stacks[v].ResumeArrivals()
+				stacks[v].Drain()
+				return struct{}{}, nil
+			})
+	} else {
+		// Cancelled: drain in-flight work only — the stacks' halted event
+		// chains stop on their own.
+		for _, st := range stacks {
+			st.Drain()
+		}
+	}
+
+	per := make([]*engine.Results, n)
+	for v, st := range stacks {
+		res := st.Collect()
+		res.Volume = v
+		// Same partial rule as Run: a cancellation that still let the
+		// volume close every interval changed nothing; volumes stopped
+		// short are dropped.
+		if runErr != nil && len(res.Samples) < intervals {
+			continue
+		}
+		per[v] = res
+	}
+	return &Results{Volumes: n, Merged: Merge(per), PerVolume: per}, runErr
+}
+
+// migrateHot moves the bottleneck volume's hottest unpinned blocks to the
+// coldest volume while the imbalance exceeds the trigger ratio, pinning
+// each moved block's routing to its new home (the DistCache shape: keep
+// independent per-volume balancing, flatten the fleet with a small
+// migrated hot set). Only clean resident lines move; the migration is
+// metadata-only, like prewarming — the clean line's bytes already exist
+// on the backing store, so no simulated transfer is issued.
+func migrateHot(rt *adaptiveRouter, stacks []*engine.Stack, counts []map[int64]uint64, cfg ControllerConfig) {
+	if cfg.TopK == 0 || len(stacks) < 2 || len(rt.pins) >= cfg.MaxPins {
+		return
+	}
+	hotV, coldV := 0, 0
+	for v := 1; v < len(rt.est); v++ {
+		if rt.est[v] > rt.est[hotV] {
+			hotV = v
+		}
+		if rt.est[v] < rt.est[coldV] {
+			coldV = v
+		}
+	}
+	if hotV == coldV || rt.est[hotV] <= cfg.MigrateRatio*rt.est[coldV] {
+		return
+	}
+	ranked := make([]hotCount, 0, len(counts[hotV]))
+	for b, c := range counts[hotV] {
+		if _, pinned := rt.pins[b]; pinned {
+			continue
+		}
+		ranked = append(ranked, hotCount{block: b, count: c})
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].count != ranked[j].count {
+			return ranked[i].count > ranked[j].count
+		}
+		return ranked[i].block < ranked[j].block
+	})
+	moved := 0
+	for _, hc := range ranked {
+		if moved >= cfg.TopK || len(rt.pins) >= cfg.MaxPins {
+			break
+		}
+		if !stacks[hotV].MigrateOut(hc.block) {
+			continue // not resident clean on the bottleneck; skip
+		}
+		stacks[coldV].MigrateIn(hc.block)
+		rt.pins[hc.block] = coldV
+		moved++
+	}
+}

@@ -14,6 +14,33 @@
 // content, Hash pins each block to a volume (the affine layout a
 // consistent-hashing frontend produces), and Zipf skews volume popularity
 // (the hot-shard regime proximity-aware allocation studies).
+//
+// # The array-lb controller
+//
+// RunControlled replaces the static router with a closed-loop
+// controller (controller.go): at each monitor-interval boundary it reads
+// every volume's measured load, reweights the router from smoothed
+// inverse loads (or routes power-of-two-choices under VariantP2C), and
+// migrates the hottest clean cache lines off the bottleneck volume,
+// pinning their routing at the destination.
+//
+// Determinism contract: the controller owns the single base workload
+// generator and the single adaptiveRouter; both are touched only on the
+// controller goroutine. Each round it routes the next interval's
+// requests serially into per-volume queues, lets the volumes step to the
+// barrier in parallel through the runner pool, then — with every volume
+// quiescent — observes loads, reweights, and migrates serially. Because
+// everything stochastic or order-sensitive happens on one goroutine at a
+// barrier, merged results are byte-identical for every worker count,
+// including the serial baseline.
+//
+// Migrated-line merge semantics: a migration moves a clean line between
+// two volumes' caches mid-run. Per-volume stats count MigratedOut at the
+// source and MigratedIn at the destination; an arrival that finds the
+// block already resident still counts MigratedIn, so across the array
+// the two sums always reconcile. Merge is order-independent — the
+// merged report carries the summed migration counts, and any
+// permutation of per-volume results merges to the identical report.
 package array
 
 import (

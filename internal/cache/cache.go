@@ -142,6 +142,7 @@ type Stats struct {
 	FlushesStarted, Flushed   uint64
 	PolicySwitches            uint64
 	BypassedReads, BypassedWr uint64 // balancer-initiated bypasses, recorded via NoteBypass
+	MigratedOut, MigratedIn   uint64 // array-controller line migrations (ExtractClean / InsertClean)
 }
 
 // HitRatio returns overall hit ratio in [0,1].
@@ -662,6 +663,51 @@ func (c *Cache) NeedsFlush() bool {
 // watermark (the flusher's stop condition).
 func (c *Cache) FlushSatisfied() bool {
 	return c.DirtyRatio() < c.cfg.DirtyLowWatermark
+}
+
+// ExtractClean removes blockNum's line for migration to another cache,
+// reporting whether a line actually left. Only resident, clean,
+// non-flushing lines are extractable: dirty (or mid-flush) lines hold the
+// newest copy of their data, and migration moves metadata only, so they
+// must stay until written back. Unlike invalidation this is not an
+// accounting event on the Invalidations counter — migrations have their
+// own MigratedOut stat.
+func (c *Cache) ExtractClean(blockNum int64) bool {
+	i := c.find(blockNum)
+	if i < 0 {
+		return false
+	}
+	m := &c.meta[i]
+	if m.dirty || m.flushing {
+		return false
+	}
+	c.tags[i] = -1
+	m.epoch = 0
+	c.valid--
+	c.stats.MigratedOut++
+	return true
+}
+
+// InsertClean installs blockNum as a valid clean line — the receiving end
+// of a migration — and returns the victims evicted to make room (dirty
+// victims need their writebacks issued, exactly as for Access). Inserting
+// an already-resident block changes nothing and evicts nobody, but still
+// counts on MigratedIn: the arrival happened, so summed MigratedIn always
+// reconciles with the senders' summed MigratedOut. The returned slice
+// aliases the cache's scratch buffer and is valid only until the next
+// Access/Prewarm/InsertClean call.
+func (c *Cache) InsertClean(blockNum int64) []Victim {
+	if c.find(blockNum) >= 0 {
+		c.stats.MigratedIn++
+		return nil
+	}
+	c.victims = c.victims[:0]
+	_, evicted := c.allocate(blockNum)
+	c.stats.MigratedIn++
+	if !evicted {
+		return nil
+	}
+	return c.victims
 }
 
 // Prewarm installs the given blocks as valid and clean without generating

@@ -1,0 +1,115 @@
+package cache
+
+import (
+	"testing"
+
+	"lbica/internal/block"
+)
+
+// ExtractClean moves only resident clean lines: misses, dirty lines and
+// mid-flush lines refuse, and a successful extraction is counted on its
+// own MigratedOut stat — not as an invalidation.
+func TestExtractCleanSemantics(t *testing.T) {
+	c := New(Config{BlockSectors: 8, Sets: 4, Ways: 2})
+	c.Prewarm([]int64{1, 2})
+	c.Access(block.Write, ext(3*8, 8), 0) // block 3: dirty under WB
+
+	if c.ExtractClean(99) {
+		t.Error("extracted a non-resident block")
+	}
+	if c.ExtractClean(3) {
+		t.Error("extracted a dirty block; its newest data lives only here")
+	}
+	before := c.Stats()
+	if !c.ExtractClean(1) {
+		t.Fatal("clean resident block refused extraction")
+	}
+	after := c.Stats()
+	if after.MigratedOut != before.MigratedOut+1 {
+		t.Errorf("MigratedOut %d, want %d", after.MigratedOut, before.MigratedOut+1)
+	}
+	if after.Invalidations != before.Invalidations {
+		t.Error("migration counted as an invalidation")
+	}
+	if c.ExtractClean(1) {
+		t.Error("extracted the same block twice")
+	}
+	if d := c.Access(block.Read, ext(1*8, 8), 0); d.Hit {
+		t.Error("extracted block still hits")
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A flushing line is pinned until its writeback lands: extraction must
+// refuse mid-flight, then succeed once MarkClean retires the flush.
+func TestExtractCleanRefusesFlushing(t *testing.T) {
+	c := New(Config{BlockSectors: 8, Sets: 4, Ways: 2})
+	c.Access(block.Write, ext(0, 8), 0)
+	flush := c.CollectDirty(1)
+	if len(flush) != 1 {
+		t.Fatalf("CollectDirty = %v, want one block", flush)
+	}
+	if c.ExtractClean(flush[0].Block) {
+		t.Fatal("extracted a line with an in-flight flush")
+	}
+	c.MarkClean(flush[0].Block, flush[0].Epoch)
+	if !c.ExtractClean(flush[0].Block) {
+		t.Fatal("flushed clean line refused extraction")
+	}
+}
+
+// InsertClean installs a clean line, reports evicted victims so their
+// writebacks can be issued, and no-ops on an already-resident block.
+func TestInsertCleanSemantics(t *testing.T) {
+	c := New(Config{BlockSectors: 8, Sets: 1, Ways: 2})
+	if v := c.InsertClean(1); v != nil {
+		t.Errorf("insert into empty set evicted %v", v)
+	}
+	if got := c.Stats().MigratedIn; got != 1 {
+		t.Errorf("MigratedIn = %d, want 1", got)
+	}
+	if v := c.InsertClean(1); v != nil {
+		t.Errorf("re-inserting a resident block evicted %v", v)
+	}
+	if got := c.Stats().MigratedIn; got != 2 {
+		t.Errorf("MigratedIn = %d after resident re-insert, want 2 (arrivals reconcile with MigratedOut)", got)
+	}
+	if d := c.Access(block.Read, ext(1*8, 8), 0); !d.Hit {
+		t.Error("inserted block does not hit")
+	}
+
+	// Fill the set, dirty one line, and insert over it: the dirty victim
+	// must surface so the engine can issue its writeback.
+	c.Access(block.Write, ext(2*8, 8), 0)
+	c.Access(block.Read, ext(1*8, 8), 0) // block 2 is now LRU... after touching 1
+	victims := c.InsertClean(3)
+	if len(victims) != 1 || !victims[0].Dirty || victims[0].Block != 2 {
+		t.Fatalf("InsertClean victims = %+v, want the dirty block 2", victims)
+	}
+	if err := c.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A full migration round-trips: extract from one cache, insert into
+// another, and the line serves hits only at its new home.
+func TestMigrationRoundTrip(t *testing.T) {
+	src := New(Config{BlockSectors: 8, Sets: 4, Ways: 2})
+	dst := New(Config{BlockSectors: 8, Sets: 4, Ways: 2})
+	src.Prewarm([]int64{7})
+	if !src.ExtractClean(7) {
+		t.Fatal("extract failed")
+	}
+	dst.InsertClean(7)
+	if d := src.Access(block.Read, ext(7*8, 8), 0); d.Hit {
+		t.Error("source still hits after migration")
+	}
+	if d := dst.Access(block.Read, ext(7*8, 8), 0); !d.Hit {
+		t.Error("destination misses after migration")
+	}
+	if src.Stats().MigratedOut != 1 || dst.Stats().MigratedIn != 1 {
+		t.Errorf("stats: out %d in %d, want 1/1", src.Stats().MigratedOut, dst.Stats().MigratedIn)
+	}
+}

@@ -247,9 +247,13 @@ type Stack struct {
 	freeEvictOps []*evictOp
 
 	// Arrival pump state: one closure per run, the next arrival parked in
-	// pumpReq (only one arrival event is ever outstanding).
-	pumpReq workload.Request
-	pumpFn  func()
+	// pumpReq (only one arrival event is ever outstanding). pumpStopped
+	// records that the pump found the generator exhausted, so a stepped run
+	// whose generator is refilled between steps (the array controller's
+	// per-interval feeds) can restart it via ResumeArrivals.
+	pumpReq     workload.Request
+	pumpFn      func()
+	pumpStopped bool
 
 	// ctxDone, when non-nil, lets RunContext stop the run cooperatively:
 	// once it is closed no new arrivals or periodic ticks are scheduled
@@ -787,8 +791,10 @@ func (st *Stack) pump() {
 	}
 	wr, ok := st.gen.Next()
 	if !ok {
+		st.pumpStopped = true
 		return
 	}
+	st.pumpStopped = false
 	at := wr.At
 	if at < st.eng.Now() {
 		at = st.eng.Now()
@@ -816,6 +822,19 @@ func (st *Stack) halted() bool {
 // requested). The virtual clock is unaffected by wall-clock timing of the
 // cancellation beyond which event boundary it lands on.
 func (st *Stack) RunContext(ctx context.Context, intervals int) *Results {
+	st.Start(ctx, intervals)
+	st.Drain()
+	return st.Collect()
+}
+
+// Start arms the run — the arrival pump and the monitor, flusher and
+// balancer tick chains — without executing any events. It is the first
+// half of RunContext, split out so a stepped run (StepTo/ResumeArrivals/
+// Drain/Collect) can interleave outside work at interval boundaries: the
+// array controller steps every volume to the same virtual deadline, reads
+// their census at the barrier, and resumes them. Start must be called
+// exactly once, before the first StepTo or Drain.
+func (st *Stack) Start(ctx context.Context, intervals int) {
 	if intervals < 1 {
 		intervals = 1
 	}
@@ -881,9 +900,50 @@ func (st *Stack) RunContext(ctx context.Context, intervals int) *Results {
 		}
 		st.eng.After(p.every, run)
 	}
+}
 
-	st.eng.RunUntilIdle()
+// StepTo executes events up to and including virtual time t, then parks
+// the clock exactly at t (events scheduled for later stay pending). The
+// monitor tick at t fires before StepTo returns — stepping to a multiple
+// of MonitorEvery leaves the interval's Sample closed and readable.
+func (st *Stack) StepTo(t time.Duration) { st.eng.Run(t) }
 
+// ResumeArrivals restarts the arrival pump after the generator reported
+// exhaustion. A stepped run's generator may be a refillable feed (the
+// array controller queues each interval's routed slice before stepping);
+// once refilled, the feed has new requests but the pump — which stopped
+// silently when Next returned false — must be rearmed. No-op while the
+// pump is live.
+func (st *Stack) ResumeArrivals() {
+	if st.pumpStopped {
+		st.pump()
+	}
+}
+
+// Drain runs the event loop until no events remain — the in-flight
+// requests complete and, unless the generator is exhausted or the run was
+// cancelled, remaining arrivals execute.
+func (st *Stack) Drain() { st.eng.RunUntilIdle() }
+
+// MigrateOut extracts blockNum's clean cache line for migration to
+// another volume, returning false (and doing nothing) when the block is
+// not resident clean. Dirty or mid-flush lines never migrate: the array's
+// volumes are independent failure domains and migration copies no data,
+// so only lines whose backing store already holds the newest bytes leave.
+func (st *Stack) MigrateOut(blockNum int64) bool {
+	return st.cch.ExtractClean(blockNum)
+}
+
+// MigrateIn inserts blockNum as a clean resident line (a no-op when
+// already resident). Victims evicted to make room become ordinary device
+// traffic — a dirty victim costs an SSD read plus an HDD writeback, so a
+// migration into a full dirty set is not free.
+func (st *Stack) MigrateIn(blockNum int64) {
+	st.issueVictims(st.cch.InsertClean(blockNum))
+}
+
+// Collect assembles the run's Results. Call once, after Drain.
+func (st *Stack) Collect() *Results {
 	return &Results{
 		Workload:          st.gen.Name(),
 		Scheme:            st.schemeName(),

@@ -17,6 +17,8 @@ func TestSpecArrayParallelMatchesSerial(t *testing.T) {
 		{"uniform", Spec{Workload: WorkloadTPCC, Scheme: SchemeLBICA, Intervals: 6, Volumes: 3}},
 		{"hash", Spec{Workload: WorkloadMail, Scheme: SchemeLBICA, Intervals: 6, Volumes: 3, RoutePolicy: "hash"}},
 		{"zipf", Spec{Workload: WorkloadWeb, Scheme: SchemeSIB, Intervals: 6, Volumes: 3, RouteSkew: 1.2}},
+		{"array-lb", Spec{Workload: WorkloadTPCC, Scheme: SchemeArrayLB, Intervals: 6, Volumes: 3, RouteSkew: 1.2}},
+		{"array-lb-p2c", Spec{Workload: WorkloadTPCC, Scheme: SchemeArrayLB, Intervals: 6, Volumes: 3, RouteVariant: "p2c"}},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			serial, parallel := tc.spec, tc.spec
@@ -48,16 +50,34 @@ func TestSpecSingleVolumeIdentity(t *testing.T) {
 	}
 }
 
+// ARRAY-LB at one volume has nothing to balance across: it must run the
+// exact single-stack LBICA pipeline, relabeled.
+func TestSpecArrayLBSingleVolumeDegenerates(t *testing.T) {
+	lb := Run(Spec{Workload: WorkloadTPCC, Scheme: SchemeLBICA, Intervals: 6})
+	alb := Run(Spec{Workload: WorkloadTPCC, Scheme: SchemeArrayLB, Intervals: 6, Volumes: 1})
+	if alb.Scheme != SchemeArrayLB {
+		t.Fatalf("degenerate run labeled %q, want %q", alb.Scheme, SchemeArrayLB)
+	}
+	relabel := *lb
+	relabel.Scheme = SchemeArrayLB
+	if !reflect.DeepEqual(alb, &relabel) {
+		t.Fatal("single-volume ARRAY-LB differs from plain LBICA beyond the label")
+	}
+}
+
 func TestSpecNormalizePanicsOnBadArrayFields(t *testing.T) {
 	for name, spec := range map[string]Spec{
-		"negative volumes":     {Workload: WorkloadTPCC, Volumes: -1},
-		"skew without array":   {Workload: WorkloadTPCC, RouteSkew: 1.2},
-		"policy without array": {Workload: WorkloadTPCC, RoutePolicy: "hash"},
-		"unknown policy":       {Workload: WorkloadTPCC, Volumes: 2, RoutePolicy: "robin"},
-		"skew under hash":      {Workload: WorkloadTPCC, Volumes: 2, RoutePolicy: "hash", RouteSkew: 1},
-		"negative skew":        {Workload: WorkloadTPCC, Volumes: 2, RouteSkew: -0.5},
-		"absurd width":         {Workload: WorkloadTPCC, Volumes: 100000},
-		"bad thresholds":       {Workload: WorkloadTPCC, Thresholds: core.Thresholds{DominantPair: 1.5}},
+		"negative volumes":         {Workload: WorkloadTPCC, Volumes: -1},
+		"skew without array":       {Workload: WorkloadTPCC, RouteSkew: 1.2},
+		"policy without array":     {Workload: WorkloadTPCC, RoutePolicy: "hash"},
+		"unknown policy":           {Workload: WorkloadTPCC, Volumes: 2, RoutePolicy: "robin"},
+		"skew under hash":          {Workload: WorkloadTPCC, Volumes: 2, RoutePolicy: "hash", RouteSkew: 1},
+		"negative skew":            {Workload: WorkloadTPCC, Volumes: 2, RouteSkew: -0.5},
+		"absurd width":             {Workload: WorkloadTPCC, Volumes: 100000},
+		"bad thresholds":           {Workload: WorkloadTPCC, Thresholds: core.Thresholds{DominantPair: 1.5}},
+		"policy under array-lb":    {Workload: WorkloadTPCC, Scheme: SchemeArrayLB, Volumes: 2, RoutePolicy: "zipf", RouteSkew: 1},
+		"bad route variant":        {Workload: WorkloadTPCC, Scheme: SchemeArrayLB, Volumes: 2, RouteVariant: "nope"},
+		"variant without array-lb": {Workload: WorkloadTPCC, Scheme: SchemeLBICA, Volumes: 2, RouteVariant: "p2c"},
 	} {
 		func() {
 			defer func() {

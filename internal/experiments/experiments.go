@@ -29,6 +29,12 @@ const (
 	SchemeWB    = "WB"
 	SchemeSIB   = "SIB"
 	SchemeLBICA = "LBICA"
+	// SchemeArrayLB runs per-volume LBICA plus the array-level controller
+	// (internal/array.RunControlled): adaptive weighted routing and hot-
+	// block migration, re-decided at every monitor-interval barrier. At
+	// Volumes == 1 there is nothing to balance across and the scheme
+	// degenerates to plain LBICA (relabeled in the results).
+	SchemeArrayLB = "ARRAY-LB"
 )
 
 // Workloads of the evaluation.
@@ -75,8 +81,14 @@ type Spec struct {
 	RoutePolicy string
 	// RouteSkew is the Zipf exponent of the router's volume-popularity
 	// distribution (0 = uniform routing weights) — the skewed-routing
-	// axis. Requires Volumes > 1 when non-zero.
+	// axis. Requires Volumes > 1 when non-zero. Under ARRAY-LB it sets
+	// the controller's *initial* weights only; measurements take over
+	// from the first interval barrier.
 	RouteSkew float64
+	// RouteVariant selects the ARRAY-LB controller's adaptation
+	// mechanism: "weighted" (inverse-load weights, the default) or "p2c"
+	// (power-of-two-choices). Meaningful only under SchemeArrayLB.
+	RouteVariant string
 	// ShardWorkers caps the array's volume-per-core fan-out (≤0 =
 	// GOMAXPROCS; 1 = the serial baseline the determinism tests compare
 	// against). Output is byte-identical for every value.
@@ -102,6 +114,16 @@ func (s Spec) Normalize() Spec {
 	}
 	if s.Volumes == 1 && (s.RouteSkew != 0 || s.RoutePolicy != "") {
 		panic(fmt.Sprintf("experiments: Spec routes a single-volume run (policy %q, skew %v); routing needs Volumes > 1", s.RoutePolicy, s.RouteSkew))
+	}
+	if s.Scheme == SchemeArrayLB {
+		if s.RoutePolicy != "" {
+			panic(fmt.Sprintf("experiments: Spec sets RoutePolicy %q under ARRAY-LB; the controller owns routing (RouteSkew seeds its initial weights)", s.RoutePolicy))
+		}
+		if _, err := array.ParseVariant(s.RouteVariant); err != nil {
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+	} else if s.RouteVariant != "" {
+		panic(fmt.Sprintf("experiments: Spec sets RouteVariant %q under scheme %q; variants apply to ARRAY-LB only", s.RouteVariant, s.Scheme))
 	}
 	if err := s.arrayConfig().Validate(); err != nil {
 		panic(fmt.Sprintf("experiments: %v", err))
@@ -191,7 +213,9 @@ func NewBalancerWithThresholds(scheme string, th core.Thresholds) engine.Balance
 		return nil
 	case SchemeSIB:
 		return sib.New(sib.DefaultConfig())
-	case SchemeLBICA:
+	case SchemeLBICA, SchemeArrayLB:
+		// ARRAY-LB keeps the intra-volume balancer: each volume still runs
+		// LBICA; the array controller adds the cross-volume layer on top.
 		cfg := core.DefaultConfig()
 		cfg.Thresholds = th.Normalize()
 		return core.New(cfg)
@@ -257,12 +281,43 @@ func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	if spec.Volumes <= 1 {
 		// The single-stack path is exactly the pre-array pipeline — no
 		// router, no filter, the run seed untouched — so Volumes: 1 output
-		// stays byte-identical to the paper harness's goldens.
+		// stays byte-identical to the paper harness's goldens. ARRAY-LB
+		// with one volume has nothing to balance across: it runs as plain
+		// LBICA and is relabeled.
 		gen := NewGenerator(spec)
 		st := engine.New(cfg, gen, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds))
 		res := st.RunContext(ctx, spec.Intervals)
 		res.Workload = spec.Workload
+		if spec.Scheme == SchemeArrayLB {
+			res.Scheme = SchemeArrayLB
+		}
 		return res
+	}
+
+	if spec.Scheme == SchemeArrayLB {
+		variant, _ := array.ParseVariant(spec.RouteVariant) // validated in Normalize
+		ccfg := array.ControllerConfig{
+			Volumes: spec.Volumes,
+			Skew:    spec.RouteSkew,
+			Seed:    spec.Seed,
+			Variant: variant,
+			Workers: spec.ShardWorkers,
+		}
+		// One base stream, routed by the controller itself; per-volume
+		// hardware still draws from its own volume seed.
+		ares, _ := array.RunControlled(ctx, ccfg, spec.Intervals, spec.Interval, NewGenerator(spec),
+			func(vol int, gen workload.Generator) (*engine.Stack, error) {
+				vcfg := cfg
+				vcfg.Seed = sim.Stream(spec.Seed, vol)
+				vcfg.Volume = vol
+				return engine.New(vcfg, gen, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds)), nil
+			})
+		merged := ares.Merged
+		merged.Workload = spec.Workload
+		// The per-volume balancer names itself LBICA; the array-level
+		// scheme is what this run compares as.
+		merged.Scheme = SchemeArrayLB
+		return merged
 	}
 
 	acfg := spec.arrayConfig()

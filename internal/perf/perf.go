@@ -7,6 +7,7 @@ package perf
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"strings"
 	"testing"
@@ -60,12 +61,32 @@ func Suite(intervals int) []Bench {
 		{"matrix/serial", func(b *testing.B) { BenchMatrixSerial(b, intervals) }},
 		{"shard/volumes4-serial", func(b *testing.B) { BenchShard(b, intervals, 4, 1) }},
 		{"shard/volumes4-parallel", func(b *testing.B) { BenchShard(b, intervals, 4, 0) }},
+		{"array/volumes3-static", func(b *testing.B) { BenchArray(b, intervals, experiments.SchemeLBICA) }},
+		{"array/volumes3-controller", func(b *testing.B) { BenchArray(b, intervals, experiments.SchemeArrayLB) }},
 	}
 }
 
 // Run executes every suite benchmark whose name contains filter (empty =
 // all) and returns the report.
 func Run(filter string, intervals int) Report {
+	return run(intervals, func(name string) bool {
+		return filter == "" || strings.Contains(name, filter)
+	})
+}
+
+// RunExact executes exactly the named suite entries; names that match no
+// entry are simply absent from the report, which Check then flags. This
+// is the `-perf-check` driver: a committed baseline names its
+// benchmarks, and only those rerun.
+func RunExact(names []string, intervals int) Report {
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	return run(intervals, func(name string) bool { return want[name] })
+}
+
+func run(intervals int, want func(string) bool) Report {
 	rep := Report{
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -74,7 +95,7 @@ func Run(filter string, intervals int) Report {
 		Intervals: intervals,
 	}
 	for _, bm := range Suite(intervals) {
-		if filter != "" && !strings.Contains(bm.Name, filter) {
+		if !want(bm.Name) {
 			continue
 		}
 		r := testing.Benchmark(bm.Fn)
@@ -87,6 +108,45 @@ func Run(filter string, intervals int) Report {
 		})
 	}
 	return rep
+}
+
+// Tolerance band for Check. Alloc counts are deterministic for a fixed
+// Go version, so the gate is tight — 1.5× plus a small absolute slack
+// for toolchain drift. Wall time varies with the host (CI machines are
+// noisy, throttled and shared), so the ns gate is a loose 4× backstop
+// that only catches order-of-magnitude regressions.
+const (
+	NsTolerance     = 4.0
+	AllocsTolerance = 1.5
+	allocsSlack     = 8
+)
+
+// Check compares a fresh report against a committed baseline and returns
+// one message per breach (nil = the gate passes). Every baseline entry
+// must be present in the current report and inside the tolerance band;
+// extra current entries are ignored.
+func Check(baseline, current Report) []string {
+	cur := make(map[string]Result, len(current.Results))
+	for _, r := range current.Results {
+		cur[r.Name] = r
+	}
+	var breaches []string
+	for _, b := range baseline.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			breaches = append(breaches, fmt.Sprintf("%s: in the baseline but not the current suite", b.Name))
+			continue
+		}
+		if limit := float64(b.AllocsPerOp)*AllocsTolerance + allocsSlack; float64(c.AllocsPerOp) > limit {
+			breaches = append(breaches, fmt.Sprintf("%s: %d allocs/op, baseline %d (limit %.0f)",
+				b.Name, c.AllocsPerOp, b.AllocsPerOp, limit))
+		}
+		if limit := b.NsPerOp * NsTolerance; c.NsPerOp > limit {
+			breaches = append(breaches, fmt.Sprintf("%s: %.0f ns/op, baseline %.0f (limit %.0f)",
+				b.Name, c.NsPerOp, b.NsPerOp, limit))
+		}
+	}
+	return breaches
 }
 
 // BenchKernelScheduleFire measures steady-state schedule+fire.
@@ -191,6 +251,27 @@ func BenchShard(b *testing.B, intervals, volumes, workers int) {
 		})
 		if res.AppCompleted == 0 {
 			b.Fatal("shard run completed no requests")
+		}
+	}
+}
+
+// BenchArray runs the pinned hot-shard regime (tpcc, 3 volumes, route
+// skew 1.2) end to end under the given scheme (0 intervals = paper
+// scale). The static/controller pair behind BENCH_array.json isolates
+// the array-lb controller's overhead: both run per-volume LBICA over the
+// identical stream, so any gap is the barrier, reweighting and
+// migration machinery.
+func BenchArray(b *testing.B, intervals int, scheme string) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Run(experiments.Spec{
+			Workload:  experiments.WorkloadTPCC,
+			Scheme:    scheme,
+			Intervals: intervals,
+			Volumes:   3,
+			RouteSkew: 1.2,
+		})
+		if res.AppCompleted == 0 {
+			b.Fatal("array run completed no requests")
 		}
 	}
 }

@@ -19,15 +19,14 @@ func arrayGrid() Grid {
 
 func TestGridArrayAxesValidate(t *testing.T) {
 	for name, g := range map[string]Grid{
-		"zero volume":         {Volumes: []int{0}},
-		"negative volume":     {Volumes: []int{-2}},
-		"oversized volume":    {Volumes: []int{100000}},
-		"duplicate volume":    {Volumes: []int{2, 2}},
-		"negative skew":       {Volumes: []int{2}, RouteSkews: []float64{-1}},
-		"oversized skew":      {Volumes: []int{2}, RouteSkews: []float64{1e9}},
-		"duplicate skew":      {Volumes: []int{2}, RouteSkews: []float64{1.1, 1.1}},
-		"skew without shards": {RouteSkews: []float64{1.2}},
-		"skew with one-wide":  {Volumes: []int{1, 4}, RouteSkews: []float64{0, 1.2}},
+		"zero volume":      {Volumes: []int{0}},
+		"negative volume":  {Volumes: []int{-2}},
+		"oversized volume": {Volumes: []int{100000}},
+		"duplicate volume": {Volumes: []int{2, 2}},
+		"negative skew":    {Volumes: []int{2}, RouteSkews: []float64{-1}},
+		"oversized skew":   {Volumes: []int{2}, RouteSkews: []float64{1e9}},
+		"duplicate skew":   {Volumes: []int{2}, RouteSkews: []float64{1.1, 1.1}},
+		"bad variant":      {Volumes: []int{2}, RouteVariant: "nope"},
 	} {
 		if err := g.Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, g)
@@ -39,6 +38,62 @@ func TestGridArrayAxesValidate(t *testing.T) {
 	}
 	if got, want := ok.Size(), 1*2*2*2*1; got != want {
 		t.Errorf("Size() = %d, want %d", got, want)
+	}
+}
+
+// Skew is inert at one volume: a mixed-width grid validates, its width-1
+// cells canonicalize to the single skew-0 cell (never inflating replicate
+// counts), and the collapsed combinations are reported, not fatal — the
+// natural baseline-vs-array comparison runs in one invocation.
+func TestGridMixedWidthSkewCanonicalizes(t *testing.T) {
+	for name, g := range map[string]Grid{
+		"skew without shards": {Workloads: []string{"tpcc"}, Schemes: []string{"wb"}, RouteSkews: []float64{1.2}},
+		"skew with one-wide":  {Workloads: []string{"tpcc"}, Schemes: []string{"wb"}, Volumes: []int{1, 4}, RouteSkews: []float64{0, 1.2}},
+	} {
+		if err := g.Validate(); err != nil {
+			t.Errorf("%s: Validate rejected mixed-width skew grid: %v", name, err)
+		}
+	}
+
+	g := Grid{
+		Workloads:  []string{"tpcc"},
+		Schemes:    []string{"wb", "lbica"},
+		Volumes:    []int{1, 4},
+		RouteSkews: []float64{0, 1.2},
+		Intervals:  2,
+	}
+	pts := g.Expand()
+	if got, want := len(pts), g.Size(); got != want {
+		t.Fatalf("len(Expand()) = %d, Size() = %d; must agree", got, want)
+	}
+	// Width 1 contributes exactly one coordinate (skew canonicalized to
+	// 0); width 4 contributes both skews — 3 coordinates × 2 schemes.
+	if got, want := len(pts), 3*2; got != want {
+		t.Fatalf("expanded %d points, want %d", got, want)
+	}
+	coord := map[[2]interface{}]int{}
+	for _, pt := range pts {
+		coord[[2]interface{}{pt.Volumes, pt.RouteSkew}]++
+		if pt.Volumes == 1 && pt.RouteSkew != 0 {
+			t.Fatalf("width-1 point kept non-zero skew: %+v", pt)
+		}
+		if pt.Volumes == 1 && (pt.Spec.RouteSkew != 0 || pt.Spec.RoutePolicy != "") {
+			t.Fatalf("width-1 spec routes: %+v", pt.Spec)
+		}
+	}
+	for want, n := range map[[2]interface{}]int{
+		{1, 0.0}: 2, {4, 0.0}: 2, {4, 1.2}: 2,
+	} {
+		if coord[want] != n {
+			t.Errorf("coordinate %v expanded %d times, want %d", want, coord[want], n)
+		}
+	}
+	skipped := g.SkippedCombos()
+	if len(skipped) != 1 || !strings.Contains(skipped[0], "1.2") {
+		t.Errorf("SkippedCombos() = %v, want one entry naming skew 1.2", skipped)
+	}
+	if all := (Grid{Volumes: []int{2, 4}, RouteSkews: []float64{0, 1.2}}).SkippedCombos(); all != nil {
+		t.Errorf("all-sharded grid reported skips: %v", all)
 	}
 }
 

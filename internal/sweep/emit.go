@@ -253,6 +253,16 @@ func WriteReport(w io.Writer, res *Result) error {
 		burstShape, arrShape, g.Replicates, res.Total, res.Completed); err != nil {
 		return err
 	}
+	for _, s := range res.Skipped {
+		if _, err := fmt.Fprintf(w, "skipped: %s\n", s); err != nil {
+			return err
+		}
+	}
+	if len(res.Skipped) > 0 {
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
 	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', tabwriter.AlignRight)
 	burstCol := ""
 	if burst {

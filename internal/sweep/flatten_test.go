@@ -1,0 +1,59 @@
+package sweep
+
+import "testing"
+
+// TestArrayLBFlattensHotShard is the cross-cell invariant only the sweep
+// layer can check, and the repo's pinned acceptance regime for the array
+// controller: on the hot-shard grid (tpcc, 3 volumes, route skew 1.2 —
+// the split static routing turns into a 3224/1446/831 request imbalance)
+// the ARRAY-LB cell's bottleneck cache load (QMeanUS: the merged mean of
+// per-interval per-volume-max queue times) must not exceed the static
+// LBICA cell's, which routes the identical stream with frozen Zipf
+// weights. Both schemes run per-volume LBICA, so any gap is the
+// controller's doing.
+func TestArrayLBFlattensHotShard(t *testing.T) {
+	intervals := 12
+	if testing.Short() {
+		intervals = 6
+	}
+	g := Grid{
+		Workloads:  []string{"tpcc"},
+		Schemes:    []string{"lbica", "array-lb"},
+		Volumes:    []int{3},
+		RouteSkews: []float64{1.2},
+		Seed:       7,
+		Intervals:  intervals,
+	}
+	res, err := Execute(t.Context(), g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byScheme := make(map[string]Cell, len(res.Cells))
+	for _, c := range res.Cells {
+		byScheme[c.Scheme] = c
+	}
+	static, ok := byScheme["LBICA"]
+	if !ok {
+		t.Fatalf("no LBICA cell in %v", res.Cells)
+	}
+	adaptive, ok := byScheme["ARRAY-LB"]
+	if !ok {
+		t.Fatalf("no ARRAY-LB cell in %v", res.Cells)
+	}
+	if static.QMeanUS <= 0 {
+		t.Fatalf("static bottleneck load %.1fµs; the regime exercises nothing", static.QMeanUS)
+	}
+	if adaptive.QMeanUS > static.QMeanUS {
+		t.Errorf("array-lb bottleneck cache load %.1fµs exceeds static routing's %.1fµs on the hot-shard grid",
+			adaptive.QMeanUS, static.QMeanUS)
+	}
+	// Both schemes must have served the identical stream — the controlled
+	// comparison the shared replicate seed guarantees.
+	reqs := make(map[string]uint64, 2)
+	for _, r := range res.Runs {
+		reqs[r.Scheme] = r.Requests
+	}
+	if reqs["ARRAY-LB"] == 0 || reqs["ARRAY-LB"] != reqs["LBICA"] {
+		t.Errorf("schemes served different streams: %d vs %d requests", reqs["ARRAY-LB"], reqs["LBICA"])
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"lbica/internal/engine"
@@ -81,18 +82,22 @@ func WriteRunSeriesCSV(w io.Writer, er *engine.Results) error {
 
 // SeriesFileName names a run's series file from its grid coordinates,
 // e.g. "series_tpcc_lbica_cm0.5_rf1_bm2_r0.csv". Workload names come from
-// the open registry and may contain anything, so they are sanitized to a
-// filesystem-safe alphabet. Array coordinates appear only off their
-// defaults ("..._bm1_v4_rs1.2_r0.csv"), so single-volume sweeps keep
-// their historical file names byte for byte.
+// the open registry and may contain anything, so every name- and
+// float-derived component is sanitized to a filesystem-safe alphabet.
+// The numeric coordinates are formatted by ftoa — the exact function the
+// cells CSV uses — so a series file's cm/rf/bm/rs components join back to
+// their CSV row byte for byte (for every value the grid validation
+// admits, the sanitizer is the identity on ftoa's output). Array
+// coordinates appear only off their defaults ("..._bm1_v4_rs1.2_r0.csv"),
+// so single-volume sweeps keep their historical file names byte for byte.
 func SeriesFileName(pt Point) string {
 	arr := ""
 	if pt.Volumes > 1 || pt.RouteSkew != 0 {
-		arr = fmt.Sprintf("_v%d_rs%g", pt.Volumes, pt.RouteSkew)
+		arr = "_v" + strconv.Itoa(pt.Volumes) + "_rs" + sanitizeName(ftoa(pt.RouteSkew))
 	}
-	return fmt.Sprintf("series_%s_%s_cm%g_rf%g_bm%g%s_r%d.csv",
-		sanitizeName(pt.Workload), sanitizeName(strings.ToLower(pt.Scheme)),
-		pt.CacheMult, pt.RateFactor, pt.BurstMult, arr, pt.Replicate)
+	return "series_" + sanitizeName(pt.Workload) + "_" + sanitizeName(strings.ToLower(pt.Scheme)) +
+		"_cm" + sanitizeName(ftoa(pt.CacheMult)) + "_rf" + sanitizeName(ftoa(pt.RateFactor)) +
+		"_bm" + sanitizeName(ftoa(pt.BurstMult)) + arr + "_r" + strconv.Itoa(pt.Replicate) + ".csv"
 }
 
 // sanitizeName maps a workload/scheme name onto [a-z0-9._-]: every other

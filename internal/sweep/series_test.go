@@ -147,6 +147,31 @@ func TestSeriesFileNameSanitizesHostileNames(t *testing.T) {
 	if name != filepath.Base(name) {
 		t.Errorf("file name %q escapes its directory", name)
 	}
+
+	// Array coordinates ride the same pipeline: every float component is
+	// formatted by ftoa — the exact cells-CSV encoder — so a file name's
+	// rs component joins back to its CSV row byte for byte, and even a
+	// pathological skew value stays on the safe alphabet.
+	arr := pt
+	arr.Volumes = 4
+	arr.RouteSkew = 1.2
+	aname := SeriesFileName(arr)
+	if !strings.Contains(aname, "_v4_rs"+ftoa(arr.RouteSkew)+"_") {
+		t.Errorf("array file name %q does not embed ftoa(%v) = %q", aname, arr.RouteSkew, ftoa(arr.RouteSkew))
+	}
+	for _, v := range []float64{0.5, 1, 1.2, 2.75} {
+		if s := ftoa(v); sanitizeName(s) != s {
+			t.Errorf("sanitizer not the identity on ftoa(%v) = %q", v, s)
+		}
+	}
+	// Exponent-formatted floats (never grid-valid, but defense in depth):
+	// the '+' of "1e+21" must not survive into a file name.
+	huge := pt
+	huge.Volumes = 2
+	huge.RouteSkew = 1e21
+	if n := SeriesFileName(huge); strings.ContainsAny(n, "+,/") {
+		t.Errorf("exponent formatting leaks hostile bytes into %q", n)
+	}
 }
 
 // TestSummarizeEmptyGroup guards the zero-replicate path: an interrupted

@@ -61,10 +61,17 @@ type Grid struct {
 	Volumes []int `json:"volumes"`
 	// RouteSkews is the router-skew axis: the Zipf exponent of the
 	// router's volume-popularity distribution (0 = uniform routing).
-	// Empty = {0}. A non-zero skew requires every Volumes value > 1 — at
-	// one volume every skew routes identically, so the axis would only
-	// relabel duplicate runs.
+	// Empty = {0}. At one volume every skew routes identically, so skew
+	// is inert at width 1: those cells canonicalize to skew 0 and
+	// deduplicate (a single run per coordinate, replicate counts never
+	// inflated), and the dropped combinations are reported in
+	// Result.Skipped — a mixed-width grid like Volumes {1,4} ×
+	// RouteSkews {0,1.2} runs in one invocation.
 	RouteSkews []float64 `json:"route_skews"`
+	// RouteVariant selects the ARRAY-LB controller's adaptation
+	// mechanism, "weighted" (default) or "p2c". A scalar, not an axis;
+	// it only affects ARRAY-LB cells.
+	RouteVariant string `json:"route_variant,omitempty"`
 	// Replicates is the number of seed replicates per cell (≥1). Replicate
 	// r runs with seed sim.Stream(Seed, r): every scheme of a replicate
 	// shares that seed (the controlled comparison), and the split depends
@@ -156,10 +163,13 @@ func (g Grid) Validate() error {
 	}
 	for _, sc := range g.Schemes {
 		switch sc {
-		case experiments.SchemeWB, experiments.SchemeSIB, experiments.SchemeLBICA:
+		case experiments.SchemeWB, experiments.SchemeSIB, experiments.SchemeLBICA, experiments.SchemeArrayLB:
 		default:
-			return fmt.Errorf("sweep: unknown scheme %q (want wb|sib|lbica)", sc)
+			return fmt.Errorf("sweep: unknown scheme %q (want wb|sib|lbica|array-lb)", sc)
 		}
+	}
+	if _, err := array.ParseVariant(g.RouteVariant); err != nil {
+		return fmt.Errorf("sweep: %w", err)
 	}
 	// Bounded open intervals, not mere positivity: NaN and ±Inf slip
 	// through a `<= 0` check (both comparisons are false) and hang the
@@ -185,25 +195,17 @@ func (g Grid) Validate() error {
 			return fmt.Errorf("sweep: burst multiplier %v outside (0, 100]", bm)
 		}
 	}
-	allSharded := true
 	for _, v := range g.Volumes {
 		if v < 1 || v > array.MaxVolumes {
 			return fmt.Errorf("sweep: volume count %d outside [1, %d]", v, array.MaxVolumes)
 		}
-		if v == 1 {
-			allSharded = false
-		}
 	}
+	// Skew over a width-1 volume entry is not an error: skew is inert at
+	// one volume, so Expand canonicalizes those cells to skew 0 and
+	// deduplicates them (the skipped combinations land in Result.Skipped).
 	for _, rs := range g.RouteSkews {
 		if !(rs >= 0 && rs <= array.MaxSkew) {
 			return fmt.Errorf("sweep: route skew %v outside [0, %v]", rs, array.MaxSkew)
-		}
-		// At one volume every skew runs the identical simulation, so a
-		// skew axis over a Volumes axis containing 1 would re-run
-		// duplicate cells under different labels (the same hazard the
-		// duplicate-value rejection below guards against).
-		if rs != 0 && !allSharded {
-			return fmt.Errorf("sweep: route skew %v needs every volume count > 1 (skew is meaningless for a single volume)", rs)
 		}
 	}
 	for _, axis := range []struct{ name, dup string }{
@@ -258,12 +260,55 @@ func dupFloat(vals []float64) string {
 	return ""
 }
 
-// Size returns the number of runs the grid expands to: the product of the
-// axis lengths (after defaulting).
+// effSkews returns the route-skew values that actually run at a given
+// array width: the full axis when vol > 1, and the canonical single
+// skew-0 cell when vol == 1 (skew is inert at one volume — every value
+// would run the identical simulation, so the non-zero entries collapse
+// instead of inflating the cell count).
+func effSkews(vol int, skews []float64) []float64 {
+	if vol > 1 {
+		return skews
+	}
+	return zeroSkew[:]
+}
+
+var zeroSkew = [1]float64{0}
+
+// SkippedCombos reports the (volume count, route skew) combinations the
+// expansion drops as inert — human-readable, for Result.Skipped and the
+// CLI log.
+func (g Grid) SkippedCombos() []string {
+	g = g.Normalize()
+	has1 := false
+	for _, v := range g.Volumes {
+		if v == 1 {
+			has1 = true
+		}
+	}
+	if !has1 {
+		return nil
+	}
+	var out []string
+	for _, rs := range g.RouteSkews {
+		if rs != 0 {
+			out = append(out, fmt.Sprintf("volumes 1 × route skew %v: skew is inert at one volume; canonicalized to the skew-0 cell", rs))
+		}
+	}
+	return out
+}
+
+// Size returns the number of runs the grid expands to — the product of
+// the axis lengths (after defaulting), except that width-1 volume entries
+// contribute a single canonical skew-0 cell however long the skew axis is
+// (see effSkews). Always equal to len(Expand()).
 func (g Grid) Size() int {
 	g = g.Normalize()
+	cells := 0
+	for _, vol := range g.Volumes {
+		cells += len(effSkews(vol, g.RouteSkews))
+	}
 	return len(g.Workloads) * len(g.Schemes) * len(g.CacheMults) * len(g.RateFactors) *
-		len(g.BurstMults) * len(g.Volumes) * len(g.RouteSkews) * g.Replicates
+		len(g.BurstMults) * cells * g.Replicates
 }
 
 // Point is one expanded run: its grid coordinates plus the ready-to-run
@@ -294,10 +339,31 @@ func (g Grid) Expand() []Point {
 			for _, rf := range g.RateFactors {
 				for _, bm := range g.BurstMults {
 					for _, vol := range g.Volumes {
-						for _, rs := range g.RouteSkews {
+						for _, rs := range effSkews(vol, g.RouteSkews) {
 							for rep := 0; rep < g.Replicates; rep++ {
 								seed := sim.Stream(g.Seed, rep)
 								for _, sc := range g.Schemes {
+									spec := experiments.Spec{
+										Workload:   wl,
+										Scheme:     sc,
+										Seed:       seed,
+										Intervals:  g.Intervals,
+										Interval:   g.Interval,
+										RateFactor: rf,
+										CacheMult:  cm,
+										BurstMult:  bm,
+										Volumes:    vol,
+										RouteSkew:  rs,
+										// The cell pool already saturates the cores;
+										// a second GOMAXPROCS-wide shard pool per array
+										// cell would oversubscribe the CPU multiplicatively.
+										// Output is byte-identical for any shard worker
+										// count, so serial shards cost nothing but heat.
+										ShardWorkers: 1,
+									}
+									if sc == experiments.SchemeArrayLB {
+										spec.RouteVariant = g.RouteVariant
+									}
 									pts = append(pts, Point{
 										Workload:   wl,
 										Scheme:     sc,
@@ -307,24 +373,7 @@ func (g Grid) Expand() []Point {
 										Volumes:    vol,
 										RouteSkew:  rs,
 										Replicate:  rep,
-										Spec: experiments.Spec{
-											Workload:   wl,
-											Scheme:     sc,
-											Seed:       seed,
-											Intervals:  g.Intervals,
-											Interval:   g.Interval,
-											RateFactor: rf,
-											CacheMult:  cm,
-											BurstMult:  bm,
-											Volumes:    vol,
-											RouteSkew:  rs,
-											// The cell pool already saturates the cores;
-											// a second GOMAXPROCS-wide shard pool per array
-											// cell would oversubscribe the CPU multiplicatively.
-											// Output is byte-identical for any shard worker
-											// count, so serial shards cost nothing but heat.
-											ShardWorkers: 1,
-										},
+										Spec:       spec,
 									})
 								}
 							}
@@ -386,6 +435,10 @@ type Result struct {
 	// finished work — the partial report.
 	Total     int `json:"total"`
 	Completed int `json:"completed"`
+	// Skipped lists the inert axis combinations the expansion collapsed
+	// instead of running (currently: non-zero route skews at volume count
+	// 1, canonicalized to the skew-0 cell).
+	Skipped []string `json:"skipped,omitempty"`
 }
 
 // Execute expands the grid and fans the runs out across the bounded
@@ -415,7 +468,7 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 		func(ctx context.Context, i int) (*engine.Results, error) {
 			return experiments.RunContext(ctx, pts[i].Spec), ctx.Err()
 		})
-	res := &Result{Grid: g, Total: len(pts)}
+	res := &Result{Grid: g, Total: len(pts), Skipped: g.SkippedCombos()}
 	for i, er := range cells {
 		if er == nil {
 			continue

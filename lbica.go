@@ -70,6 +70,14 @@
 //		fmt.Printf("v%d: %v\n", v, vr.Summary.AvgLatency)
 //	}
 //
+// Scheme "array-lb" adds an array-level controller on top of per-volume
+// LBICA: at every monitor-interval boundary it reweights the router from
+// measured per-volume load (Options.RouteVariant: inverse-load
+// "weighted" or "p2c") and migrates the bottleneck volume's hottest
+// clean cache lines to the coldest volume, pinning their routing — the
+// flattening answer to the hot-shard regime static "zipf" routing sets
+// up.
+//
 // The determinism guarantee extends to arrays: output is byte-identical
 // for every ShardWorkers value, and Volumes: 1 (or unset) runs the exact
 // single-stack pipeline of the paper harness. Options.Thresholds exposes
@@ -104,6 +112,15 @@ const (
 	SchemeWB    = "wb"
 	SchemeSIB   = "sib"
 	SchemeLBICA = "lbica"
+	// SchemeArrayLB layers an array-level controller over per-volume
+	// LBICA: at every monitor-interval boundary it reweights the router
+	// from measured per-volume load (Options.RouteVariant picks the
+	// mechanism) and migrates the bottleneck volume's hottest cache lines
+	// to the coldest volume, pinning their routing. Requires Volumes > 1
+	// to have anything to balance (at one volume it runs as plain LBICA);
+	// RoutePolicy must stay empty — the controller owns routing, and
+	// RouteSkew only seeds its initial weights.
+	SchemeArrayLB = "array-lb"
 
 	SchemeStaticWT   = "wt"
 	SchemeStaticRO   = "ro"
@@ -213,8 +230,15 @@ type Options struct {
 	RoutePolicy string
 	// RouteSkew is the Zipf exponent of the router's volume-popularity
 	// distribution (0 = uniform weights) — the skewed-routing regime
-	// where some volumes run hot. Requires Volumes > 1.
+	// where some volumes run hot. Requires Volumes > 1. Under
+	// Scheme "array-lb" it sets the controller's initial weights only;
+	// measured load takes over from the first interval barrier.
 	RouteSkew float64
+	// RouteVariant selects the "array-lb" controller's adaptation
+	// mechanism: "weighted" (inverse-load weighting, the default) or
+	// "p2c" (power-of-two-choices: two candidate volumes per request,
+	// route to the less loaded). Only valid with Scheme "array-lb".
+	RouteVariant string
 	// ShardWorkers caps the array's volume-per-core fan-out (≤0 =
 	// GOMAXPROCS; 1 = serial). Output is byte-identical for every value.
 	ShardWorkers int
@@ -383,7 +407,20 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 			o.Intervals = 200
 		}
 	}
+	if strings.ToLower(o.Scheme) == SchemeArrayLB {
+		if o.RoutePolicy != "" {
+			return nil, fmt.Errorf("lbica: RoutePolicy %q set under scheme array-lb; the controller owns routing (RouteSkew seeds its initial weights)", o.RoutePolicy)
+		}
+		if _, err := array.ParseVariant(o.RouteVariant); err != nil {
+			return nil, fmt.Errorf("lbica: %w", err)
+		}
+	} else if o.RouteVariant != "" {
+		return nil, fmt.Errorf("lbica: RouteVariant %q set under scheme %q; adaptive variants apply to array-lb only", o.RouteVariant, o.Scheme)
+	}
 	if o.Volumes > 1 {
+		if strings.ToLower(o.Scheme) == SchemeArrayLB {
+			return runControlledContext(ctx, o)
+		}
 		return runArrayContext(ctx, o)
 	}
 
@@ -572,6 +609,92 @@ func runArrayContext(ctx context.Context, o Options) (*Report, error) {
 	return rep, runErr
 }
 
+// runControlledContext is RunContext's "array-lb" path: like
+// runArrayContext each volume is a full stack with its own LBICA
+// instance, but the stream is routed by a single controller-owned
+// adaptive router instead of lockstep static router copies. The volumes
+// advance one monitor interval per round; at each barrier the controller
+// reads every volume's closed interval sample, reweights the router from
+// measured load, and migrates the bottleneck volume's hottest clean
+// cache lines to the coldest volume (pinning their routing). Decisions
+// are made serially between rounds, so output stays byte-identical for
+// every ShardWorkers value.
+func runControlledContext(ctx context.Context, o Options) (*Report, error) {
+	if o.TraceWriter != nil || o.RecordTo != nil {
+		return nil, fmt.Errorf("lbica: TraceWriter/RecordTo require Volumes <= 1 (per-volume streams would interleave)")
+	}
+	variant, err := array.ParseVariant(o.RouteVariant)
+	if err != nil {
+		return nil, fmt.Errorf("lbica: %w", err)
+	}
+	var replay []workload.Request
+	if o.ReplayFrom != nil {
+		if replay, err = workload.LoadRequests(o.ReplayFrom); err != nil {
+			return nil, fmt.Errorf("lbica: loading replay stream: %w", err)
+		}
+	}
+	// One base stream, routed by the controller itself — unlike the static
+	// path, no per-volume bit-identical copies are needed.
+	base, err := buildWorkload(o, replay)
+	if err != nil {
+		return nil, err
+	}
+	_, initial, err := buildScheme(o)
+	if err != nil {
+		return nil, err
+	}
+	cfg, err := buildEngineConfig(o, initial)
+	if err != nil {
+		return nil, err
+	}
+	ccfg := array.ControllerConfig{
+		Volumes: o.Volumes,
+		Skew:    o.RouteSkew,
+		Seed:    o.Seed,
+		Variant: variant,
+		Workers: o.ShardWorkers,
+	}
+	ares, runErr := array.RunControlled(ctx, ccfg, o.Intervals, o.IntervalLength, base,
+		func(vol int, gen workload.Generator) (*engine.Stack, error) {
+			vcfg := cfg
+			// Per-volume device/replacement streams: each volume is its
+			// own hardware (same rule as the static array path).
+			vcfg.Seed = sim.Stream(o.Seed, vol)
+			vcfg.Volume = vol
+			if o.Replacement != "" {
+				vcfg.Cache.ReplacementSeed = vcfg.Seed
+			}
+			bal, _, err := buildScheme(o) // fresh balancer instance per volume
+			if err != nil {
+				return nil, err
+			}
+			return engine.New(vcfg, gen, bal), nil
+		})
+	if runErr != nil && ares == nil {
+		return nil, runErr
+	}
+
+	rep := buildReport(o, ares.Merged)
+	rep.PerVolume = make([]*Report, len(ares.PerVolume))
+	complete := true
+	for v, vres := range ares.PerVolume {
+		if vres == nil {
+			complete = false
+			continue
+		}
+		rep.PerVolume[v] = buildReport(o, vres)
+		if len(vres.Samples) < o.Intervals {
+			complete = false
+		}
+	}
+	// Same rule as the static array path: a cancellation that arrives only
+	// after every volume sampled every requested interval changed nothing.
+	if runErr != nil && complete && ctx.Err() != nil && errors.Is(runErr, ctx.Err()) {
+		runErr = nil
+	}
+	return rep, runErr
+}
+
 // buildWorkload assembles the run's generator. replay, when non-nil, is a
 // pre-loaded recorded stream (the array path reads ReplayFrom once and
 // hands every volume the same requests); otherwise ReplayFrom is read
@@ -666,7 +789,9 @@ func buildScheme(o Options) (engine.Balancer, cache.Policy, error) {
 		return nil, cache.WB, nil
 	case SchemeSIB:
 		return sib.New(sib.DefaultConfig()), cache.WTWO, nil
-	case SchemeLBICA:
+	case SchemeLBICA, SchemeArrayLB:
+		// array-lb keeps the intra-volume balancer: each volume still
+		// runs LBICA; the array controller adds the cross-volume layer.
 		cfg := core.DefaultConfig()
 		cfg.Thresholds = o.Thresholds.coreThresholds().Normalize()
 		return core.New(cfg), cache.WB, nil
@@ -694,6 +819,12 @@ func buildReport(o Options, res *engine.Results) *Report {
 	if res.Scheme == "WB" && o.Scheme != SchemeWB {
 		// Static-policy runs report the policy name, not "WB".
 		r.Scheme = strings.ToUpper(o.Scheme)
+	}
+	if strings.ToLower(o.Scheme) == SchemeArrayLB {
+		// The per-volume balancer names itself LBICA; the run's scheme is
+		// the array-level controller (also at Volumes <= 1, where it
+		// degenerates to plain LBICA).
+		r.Scheme = strings.ToUpper(SchemeArrayLB)
 	}
 	for i, row := range rows {
 		r.Intervals[i] = Interval{

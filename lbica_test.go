@@ -47,7 +47,7 @@ func TestRunUnknownInputs(t *testing.T) {
 }
 
 func TestAllSchemesRun(t *testing.T) {
-	for _, sc := range []string{SchemeWB, SchemeSIB, SchemeLBICA, SchemeStaticWT, SchemeStaticRO, SchemeStaticWO, SchemeStaticWTWO} {
+	for _, sc := range []string{SchemeWB, SchemeSIB, SchemeLBICA, SchemeArrayLB, SchemeStaticWT, SchemeStaticRO, SchemeStaticWO, SchemeStaticWTWO} {
 		r, err := Run(quick(WorkloadMixed, sc))
 		if err != nil {
 			t.Fatalf("%s: %v", sc, err)

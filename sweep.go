@@ -19,7 +19,8 @@ type GridSpec struct {
 	// synth-randwrite, synth-seqread, synth-seqwrite, synth-mixed,
 	// burst-mix-lo|mid|hi), or parameterized family names such as
 	// "synth-randread-zipf1.2" and "burst-mix-on6x-duty0.45-read0.35".
-	// Empty = the paper trio. Schemes are wb|sib|lbica; empty = all.
+	// Empty = the paper trio. Schemes are wb|sib|lbica|array-lb; empty =
+	// the paper trio (wb, sib, lbica).
 	Workloads []string
 	Schemes   []string
 	// CacheMults scales the SSD cache capacity relative to the paper's
@@ -37,8 +38,15 @@ type GridSpec struct {
 	Volumes []int
 	// RouteSkews is the router-skew axis: the Zipf exponent of the
 	// router's volume-popularity distribution (0 = uniform routing; empty
-	// = {0}). Non-zero skews require every Volumes value > 1.
+	// = {0}). Skew is inert at one volume, so for width-1 cells every
+	// skew canonicalizes to the single skew-0 cell (expanded once, never
+	// inflating replicate counts); the collapsed combinations are
+	// reported in SweepResult.Skipped rather than failing the sweep.
 	RouteSkews []float64
+	// RouteVariant selects the "array-lb" controller's adaptation
+	// mechanism for every array-lb cell of the sweep: "weighted"
+	// (default) or "p2c". Ignored by the other schemes.
+	RouteVariant string
 	// SeedReplicates is the number of seed replicates per cell (default 1).
 	// Replicate r derives its seed from (Seed, r) alone, and every scheme
 	// inside a replicate shares it — the paper's controlled comparison.
@@ -121,6 +129,9 @@ type SweepResult struct {
 	Cells     []SweepCell
 	Total     int
 	Completed int
+	// Skipped lists grid combinations the expansion canonicalized away
+	// (one entry per inert width-1 × non-zero-skew pair), for the log.
+	Skipped []string
 
 	res *sweep.Result
 }
@@ -137,17 +148,18 @@ type SweepResult struct {
 // aggregating the runs that completed.
 func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, error) {
 	res, err := sweep.Execute(ctx, sweep.Grid{
-		Workloads:   g.Workloads,
-		Schemes:     g.Schemes,
-		CacheMults:  g.CacheMults,
-		RateFactors: g.RateFactors,
-		BurstMults:  g.BurstMults,
-		Volumes:     g.Volumes,
-		RouteSkews:  g.RouteSkews,
-		Replicates:  g.SeedReplicates,
-		Seed:        g.Seed,
-		Intervals:   g.Intervals,
-		Interval:    g.IntervalLength,
+		Workloads:    g.Workloads,
+		Schemes:      g.Schemes,
+		CacheMults:   g.CacheMults,
+		RateFactors:  g.RateFactors,
+		BurstMults:   g.BurstMults,
+		Volumes:      g.Volumes,
+		RouteSkews:   g.RouteSkews,
+		RouteVariant: g.RouteVariant,
+		Replicates:   g.SeedReplicates,
+		Seed:         g.Seed,
+		Intervals:    g.Intervals,
+		Interval:     g.IntervalLength,
 	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress, SeriesDir: opt.SeriesDir})
 	if res == nil {
 		return nil, err
@@ -157,6 +169,7 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 		Cells:     make([]SweepCell, len(res.Cells)),
 		Total:     res.Total,
 		Completed: res.Completed,
+		Skipped:   res.Skipped,
 		res:       res,
 	}
 	for i, r := range res.Runs {
