@@ -36,22 +36,32 @@
 // `-perf -perf-filter array` measures the array-lb controller's
 // overhead on the pinned hot-shard regime (static vs controlled
 // routing) — the command that regenerates BENCH_array.json — and
-// -perf-check is the CI gate around such a committed baseline: it
-// reruns exactly the baseline's benchmarks at its recorded scale and
-// exits non-zero on any regression beyond the tolerance band:
+// `-perf -perf-filter sweep` measures the shared-warmup sweep win
+// (scratch vs warm-fork on a three-scheme comparison grid), the command
+// that regenerates BENCH_sweep.json. -perf-check is the CI gate around
+// the committed baselines: given a comma-separated list it reruns
+// exactly each baseline's benchmarks at its recorded scale and exits
+// non-zero on any regression beyond the tolerance band. Baselines in
+// the older before/after narrative schema (BENCH_hotpath.json) gate
+// against their "after" measurements:
 //
 //	lbicabench -perf -perf-filter array > BENCH_array.json
-//	lbicabench -perf-check BENCH_array.json
+//	lbicabench -perf -perf-filter sweep > BENCH_sweep.json
+//	lbicabench -perf-check BENCH_array.json,BENCH_hotpath.json,BENCH_shard.json,BENCH_sweep.json
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"time"
 
 	"lbica/internal/array"
@@ -62,47 +72,97 @@ import (
 
 func main() { cli.Main("lbicabench", run) }
 
-// runPerfCheck is the CI perf gate: load a committed perf baseline,
-// rerun exactly its benchmarks at its recorded matrix scale, and fail on
-// any breach of the tolerance band (allocs tight, wall time loose — see
-// perf.Check). The fresh measurements go to stdout as JSON so a failing
-// run leaves a diffable artifact.
-func runPerfCheck(path string, stdout, stderr io.Writer) error {
-	f, err := os.Open(path)
+// loadBaseline parses a committed perf baseline. Two on-disk schemas
+// exist: the perf.Report artifact `-perf` emits (BENCH_array.json,
+// BENCH_sweep.json) and the older before/after narrative
+// (BENCH_hotpath.json), whose "after" measurements are the numbers the
+// gate must hold. Both reduce to a perf.Report with the benchmark names
+// in deterministic order.
+func loadBaseline(path string) (perf.Report, error) {
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return err
+		return perf.Report{}, err
 	}
-	defer f.Close()
 	var base perf.Report
-	dec := json.NewDecoder(f)
+	dec := json.NewDecoder(bytes.NewReader(data))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&base); err != nil {
-		return fmt.Errorf("lbicabench: parsing baseline %s: %w", path, err)
+	if err := dec.Decode(&base); err == nil {
+		return base, nil
 	}
-	if len(base.Results) == 0 {
-		return fmt.Errorf("lbicabench: baseline %s names no benchmarks", path)
+	var narrative struct {
+		Results map[string]struct {
+			After *struct {
+				NsPerOp     float64 `json:"ns_per_op"`
+				AllocsPerOp int64   `json:"allocs_per_op"`
+				BytesPerOp  int64   `json:"bytes_per_op"`
+			} `json:"after"`
+		} `json:"results"`
 	}
-	names := make([]string, len(base.Results))
-	for i, r := range base.Results {
-		names[i] = r.Name
+	if err := json.Unmarshal(data, &narrative); err != nil || len(narrative.Results) == 0 {
+		return perf.Report{}, fmt.Errorf("lbicabench: baseline %s matches neither the perf report nor the before/after schema", path)
 	}
-	fmt.Fprintf(stderr, "perf check: rerunning %d benchmarks from %s (matrix intervals %d)...\n",
-		len(names), path, base.Intervals)
-	cur := perf.RunExact(names, base.Intervals)
+	names := make([]string, 0, len(narrative.Results))
+	for name := range narrative.Results {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		after := narrative.Results[name].After
+		if after == nil {
+			return perf.Report{}, fmt.Errorf("lbicabench: baseline %s entry %q has no after-measurement", path, name)
+		}
+		base.Results = append(base.Results, perf.Result{
+			Name:        name,
+			NsPerOp:     after.NsPerOp,
+			AllocsPerOp: after.AllocsPerOp,
+			BytesPerOp:  after.BytesPerOp,
+		})
+	}
+	return base, nil
+}
+
+// runPerfCheck is the CI perf gate: load each committed perf baseline
+// (comma-separated paths), rerun exactly its benchmarks at its recorded
+// matrix scale, and fail on any breach of the tolerance band (allocs
+// tight, wall time loose — see perf.Check). The fresh measurements go to
+// stdout as JSON so a failing run leaves a diffable artifact.
+func runPerfCheck(paths string, stdout, stderr io.Writer) error {
+	var failures []error
 	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(cur); err != nil {
-		return err
+	for _, path := range strings.Split(paths, ",") {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		base, err := loadBaseline(path)
+		if err != nil {
+			return err
+		}
+		if len(base.Results) == 0 {
+			return fmt.Errorf("lbicabench: baseline %s names no benchmarks", path)
+		}
+		names := make([]string, len(base.Results))
+		for i, r := range base.Results {
+			names[i] = r.Name
+		}
+		fmt.Fprintf(stderr, "perf check: rerunning %d benchmarks from %s (matrix intervals %d)...\n",
+			len(names), path, base.Intervals)
+		cur := perf.RunExact(names, base.Intervals)
+		if err := enc.Encode(cur); err != nil {
+			return err
+		}
+		breaches := perf.Check(base, cur)
+		for _, b := range breaches {
+			fmt.Fprintln(stderr, "perf check: REGRESSION:", b)
+		}
+		if len(breaches) > 0 {
+			failures = append(failures, fmt.Errorf("lbicabench: %d perf regressions against %s", len(breaches), path))
+			continue
+		}
+		fmt.Fprintf(stderr, "perf check: all %d benchmarks within tolerance of %s\n", len(names), path)
 	}
-	breaches := perf.Check(base, cur)
-	for _, b := range breaches {
-		fmt.Fprintln(stderr, "perf check: REGRESSION:", b)
-	}
-	if len(breaches) > 0 {
-		return fmt.Errorf("lbicabench: %d perf regressions against %s", len(breaches), path)
-	}
-	fmt.Fprintf(stderr, "perf check: all %d benchmarks within tolerance of %s\n", len(names), path)
-	return nil
+	return errors.Join(failures...)
 }
 
 // run is the testable body of main: flags in, CSV/summary out.
@@ -121,7 +181,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		routeSkew  = fs.Float64("route-skew", 0, "router Zipf skew over volume popularity (0 = uniform routing; needs -volumes > 1)")
 		perfMode   = fs.Bool("perf", false, "run the hot-path benchmark suite and emit JSON results on stdout")
 		perfFilter = fs.String("perf-filter", "", "with -perf: run only benchmarks whose name contains this substring")
-		perfCheck  = fs.String("perf-check", "", "rerun the benchmarks named in this committed baseline JSON at its recorded scale and fail on any regression beyond the tolerance band")
+		perfCheck  = fs.String("perf-check", "", "comma-separated committed baseline JSONs: rerun the benchmarks each names at its recorded scale and fail on any regression beyond the tolerance band")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err

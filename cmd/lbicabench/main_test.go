@@ -159,6 +159,69 @@ func TestRunPerfCheck(t *testing.T) {
 	}
 }
 
+// -perf-check takes a comma-separated baseline list, checking each in
+// turn, and understands the before/after narrative schema
+// (BENCH_hotpath.json): the "after" measurements are the gated numbers.
+func TestRunPerfCheckMultiBaselineAndNarrative(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, data string) string {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	rep, err := json.Marshal(perf.Report{Intervals: 1, Results: []perf.Result{
+		{Name: "kernel/schedule-cancel", NsPerOp: 1e9, AllocsPerOp: 1 << 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := write("report.json", string(rep))
+	narrative := write("narrative.json", `{
+		"benchmark": "hot-path overhaul",
+		"command": "lbicabench -perf",
+		"results": {
+			"kernel/schedule-fire": {
+				"before": {"ns_per_op": 1, "allocs_per_op": 1},
+				"after": {"ns_per_op": 1e9, "allocs_per_op": 1048576},
+				"speedup": 1.0
+			}
+		}
+	}`)
+
+	var out, errBuf strings.Builder
+	if err := run(t.Context(), []string{"-perf-check", report + "," + narrative}, &out, &errBuf); err != nil {
+		t.Fatalf("generous baseline list failed: %v (stderr: %s)", err, errBuf.String())
+	}
+	if got := strings.Count(errBuf.String(), "within tolerance"); got != 2 {
+		t.Errorf("want 2 pass verdicts (one per baseline), got %d:\n%s", got, errBuf.String())
+	}
+
+	// A regression in any listed baseline fails the whole gate — the
+	// narrative's unreachable "after" must breach even though the report
+	// baseline passes.
+	regressed := write("regressed.json", `{
+		"results": {
+			"kernel/schedule-fire": {
+				"before": {"ns_per_op": 1, "allocs_per_op": 1},
+				"after": {"ns_per_op": 1e-6, "allocs_per_op": 0}
+			}
+		}
+	}`)
+	errBuf.Reset()
+	if err := run(t.Context(), []string{"-perf-check", report + "," + regressed}, &out, &errBuf); err == nil {
+		t.Fatal("regressed narrative baseline passed the multi-baseline gate")
+	}
+
+	// A narrative entry without an after-measurement is malformed.
+	noAfter := write("no_after.json", `{"results": {"kernel/schedule-fire": {"before": {"ns_per_op": 1}}}}`)
+	if err := run(t.Context(), []string{"-perf-check", noAfter}, &out, &errBuf); err == nil {
+		t.Error("narrative baseline without after-measurements passed")
+	}
+}
+
 // -volumes threads the array width through the whole matrix; bad values
 // are usage errors.
 func TestRunArrayMatrix(t *testing.T) {

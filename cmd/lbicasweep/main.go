@@ -34,6 +34,13 @@
 //
 //	lbicasweep -intervals 20 -workers 1
 //
+// -warmup shares one simulated warmup prefix across all schemes of a
+// grid coordinate: the prefix runs once and each scheme's run is forked
+// from the warm state. Output bytes are identical to -warmup 0; only
+// wall-clock time shrinks:
+//
+//	lbicasweep -warmup 50
+//
 // Beyond the paper trio, -workload accepts any workload-catalog name —
 // synthetic primitives (synth-randread, synth-seqwrite, ...), Zipf-
 // parameterized variants (synth-randread-zipf1.2) and the burst-mix
@@ -156,6 +163,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		seed         = fs.Int64("seed", 1, "base random seed")
 		intervals    = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
 		interval     = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
+		warmup       = fs.Int("warmup", 0, "shared-warmup intervals: schemes at the same grid coordinate share one simulated warmup prefix of this length via state forking (0 = off; output bytes are identical either way)")
 		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		format       = fs.String("format", "text", "stdout format: text|csv|json")
 		out          = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
@@ -209,18 +217,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	}
 
 	grid := lbica.GridSpec{
-		Workloads:      splitList(workloads),
-		Schemes:        splitList(*schemes),
-		CacheMults:     mults,
-		RateFactors:    rates,
-		BurstMults:     bursts,
-		Volumes:        vols,
-		RouteSkews:     skews,
-		RouteVariant:   *routeVariant,
-		SeedReplicates: *seeds,
-		Seed:           *seed,
-		Intervals:      *intervals,
-		IntervalLength: *interval,
+		Workloads:       splitList(workloads),
+		Schemes:         splitList(*schemes),
+		CacheMults:      mults,
+		RateFactors:     rates,
+		BurstMults:      bursts,
+		Volumes:         vols,
+		RouteSkews:      skews,
+		RouteVariant:    *routeVariant,
+		SeedReplicates:  *seeds,
+		Seed:            *seed,
+		Intervals:       *intervals,
+		IntervalLength:  *interval,
+		WarmupIntervals: *warmup,
 	}
 	opt := lbica.SweepOptions{Workers: *workers, SeriesDir: *seriesDir}
 	start := time.Now()

@@ -68,7 +68,8 @@ type ControllerConfig struct {
 	Seed int64
 	// Variant selects the adaptation mechanism (default Weighted).
 	Variant Variant
-	// TopK caps how many hot blocks migrate per decision (default 32).
+	// TopK caps how many hot blocks migrate per decision (default 32;
+	// NoMigration disables migration entirely).
 	TopK int
 	// Smoothing is the EMA coefficient applied to per-volume load
 	// estimates in (0, 1]; higher reacts faster (default 0.5).
@@ -76,7 +77,10 @@ type ControllerConfig struct {
 	// MinShare floors every volume's routing weight at MinShare/Volumes,
 	// in [0, 1), so adaptation never starves a volume of traffic — a
 	// starved volume measures zero load and could otherwise never
-	// rejoin (default 0.25).
+	// rejoin (default 0.25). Zero is a legal value per Validate — a
+	// controller with no floor — but the field's zero value must keep
+	// meaning "use the default", so an explicit zero floor is spelled
+	// NoMinShare.
 	MinShare float64
 	// MigrateRatio is the migration trigger: hot blocks move only while
 	// the bottleneck volume's load estimate exceeds MigrateRatio × the
@@ -91,16 +95,37 @@ type ControllerConfig struct {
 	Workers int
 }
 
-// withDefaults fills zero knobs with the controller defaults.
+// Explicit-zero spellings for knobs whose zero value means "use the
+// default": the config's zero value must stay the paper configuration, so
+// a knob whose zero is itself meaningful needs a distinct way to say so.
+// withDefaults resolves each sentinel to the zero it stands for before
+// Validate ever sees it.
+const (
+	// NoMinShare requests MinShare = 0: no routing-weight floor, so
+	// adaptation may starve a volume entirely.
+	NoMinShare = -1
+	// NoMigration requests TopK = 0: adaptive routing without hot-block
+	// migration.
+	NoMigration = -1
+)
+
+// withDefaults fills zero knobs with the controller defaults and resolves
+// the explicit-zero sentinels (NoMinShare, NoMigration).
 func (c ControllerConfig) withDefaults() ControllerConfig {
-	if c.TopK == 0 {
+	switch c.TopK {
+	case 0:
 		c.TopK = 32
+	case NoMigration:
+		c.TopK = 0
 	}
 	if c.Smoothing == 0 {
 		c.Smoothing = 0.5
 	}
-	if c.MinShare == 0 {
+	switch c.MinShare {
+	case 0:
 		c.MinShare = 0.25
+	case NoMinShare:
+		c.MinShare = 0
 	}
 	if c.MigrateRatio == 0 {
 		c.MigrateRatio = 1.25

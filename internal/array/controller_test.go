@@ -57,15 +57,16 @@ func TestParseVariant(t *testing.T) {
 
 func TestControllerConfigValidate(t *testing.T) {
 	for name, bad := range map[string]ControllerConfig{
-		"zero volumes":   {Volumes: 0},
-		"absurd width":   {Volumes: MaxVolumes + 1},
-		"negative skew":  {Volumes: 2, Skew: -1},
-		"oversized skew": {Volumes: 2, Skew: MaxSkew + 1},
-		"negative topk":  {Volumes: 2, TopK: -1},
-		"bad smoothing":  {Volumes: 2, Smoothing: 1.5},
-		"bad min share":  {Volumes: 2, MinShare: 1},
-		"ratio below 1":  {Volumes: 2, MigrateRatio: 0.5},
-		"negative pins":  {Volumes: 2, MaxPins: -1},
+		"zero volumes":           {Volumes: 0},
+		"absurd width":           {Volumes: MaxVolumes + 1},
+		"negative skew":          {Volumes: 2, Skew: -1},
+		"oversized skew":         {Volumes: 2, Skew: MaxSkew + 1},
+		"negative topk":          {Volumes: 2, TopK: -2},
+		"bad smoothing":          {Volumes: 2, Smoothing: 1.5},
+		"bad min share":          {Volumes: 2, MinShare: 1},
+		"sub-sentinel min share": {Volumes: 2, MinShare: -2},
+		"ratio below 1":          {Volumes: 2, MigrateRatio: 0.5},
+		"negative pins":          {Volumes: 2, MaxPins: -1},
 	} {
 		if err := bad.withDefaults().Validate(); err == nil {
 			t.Errorf("%s: Validate accepted %+v", name, bad)
@@ -220,6 +221,49 @@ func TestAdaptiveRouterReweights(t *testing.T) {
 	rt.observe([]float64{1e9, 1, 1}, 1, 0.3)
 	if rt.weights[0] < 0.3/3-1e-12 {
 		t.Errorf("weight %.4f fell through the MinShare floor", rt.weights[0])
+	}
+}
+
+// Regression: MinShare 0 is legal per Validate's [0, 1) but used to be
+// silently rewritten to the 0.25 default, making a no-floor controller
+// unreachable. NoMinShare must resolve to a genuine zero floor — routing
+// with it lets a saturated volume's weight collapse all the way — while
+// the zero value keeps meaning "default" and NoMigration likewise
+// resolves TopK to a real zero.
+func TestNoMinShareRoutesWithZeroFloor(t *testing.T) {
+	cfg := ControllerConfig{Volumes: 3, Seed: 1, MinShare: NoMinShare, TopK: NoMigration}.withDefaults()
+	if cfg.MinShare != 0 {
+		t.Fatalf("NoMinShare resolved to %v, want 0", cfg.MinShare)
+	}
+	if cfg.TopK != 0 {
+		t.Fatalf("NoMigration resolved to %v, want 0", cfg.TopK)
+	}
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("no-floor config rejected: %v", err)
+	}
+	if def := (ControllerConfig{Volumes: 3}).withDefaults(); def.MinShare != 0.25 || def.TopK != 32 {
+		t.Fatalf("zero config no longer defaults: MinShare %v, TopK %d", def.MinShare, def.TopK)
+	}
+
+	// Route with the zero floor: after observing an extreme bottleneck,
+	// the hot volume's weight must drop below the default floor the old
+	// rewrite would have clamped it to — and routing still functions.
+	rt := newAdaptiveRouter(cfg)
+	rt.observe([]float64{1e9, 1, 1}, 1, cfg.MinShare)
+	if floor := 0.25 / 3; rt.weights[0] >= floor {
+		t.Errorf("no-floor weight %.6f still clamped at the default floor %.4f", rt.weights[0], floor)
+	}
+	req := workload.Request{Extent: block.Extent{LBA: 0, Sectors: 8}}
+	for i := 0; i < 100; i++ {
+		if v := rt.route(req); v < 0 || v >= cfg.Volumes {
+			t.Fatalf("route returned volume %d outside the array", v)
+		}
+	}
+
+	// End to end: a controlled run with the explicit zero floor completes.
+	res := runControlled(t, ControllerConfig{Volumes: 2, Seed: 1, MinShare: NoMinShare, Workers: 1}, 1, 4)
+	if res.Merged.AppCompleted == 0 || len(res.Merged.Samples) != 4 {
+		t.Fatalf("no-floor controlled run incomplete: %+v", res.Merged)
 	}
 }
 

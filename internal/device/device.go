@@ -69,6 +69,7 @@ func DefaultSSDConfig() SSDConfig {
 // SSD is a flash-device model.
 type SSD struct {
 	cfg   SSDConfig
+	g     *sim.RNG
 	read  sim.Dist
 	write sim.Dist
 	// inflightWrites approximates the GC backlog for the write cliff.
@@ -82,8 +83,23 @@ func NewSSD(cfg SSDConfig, g *sim.RNG) *SSD {
 	}
 	return &SSD{
 		cfg:   cfg,
+		g:     g,
 		read:  sim.LogNormal{M: cfg.ReadBase, Sigma: cfg.Sigma, G: g},
 		write: sim.LogNormal{M: cfg.WriteBase, Sigma: cfg.Sigma, G: g},
+	}
+}
+
+// CloneModel implements CloneableModel: the clone owns an RNG positioned
+// at the original's current draw point — both dists share the one cloned
+// stream, preserving the read/write draw interleaving.
+func (s *SSD) CloneModel() Model {
+	g := s.g.Clone()
+	return &SSD{
+		cfg:          s.cfg,
+		g:            g,
+		read:         sim.LogNormal{M: s.cfg.ReadBase, Sigma: s.cfg.Sigma, G: g},
+		write:        sim.LogNormal{M: s.cfg.WriteBase, Sigma: s.cfg.Sigma, G: g},
+		recentWrites: s.recentWrites,
 	}
 }
 
@@ -204,6 +220,16 @@ func NewHDD(cfg HDDConfig, g *sim.RNG) *HDD {
 // drain model. The engine passes its sim clock.
 func (h *HDD) SetClock(fn func() time.Duration) { h.clock = fn }
 
+// CloneModel implements CloneableModel. The clock is a closure over the
+// original engine and is NOT carried over — the forked stack must call
+// SetClock with its own engine's clock before running.
+func (h *HDD) CloneModel() Model {
+	h2 := *h
+	h2.g = h.g.Clone()
+	h2.clock = nil
+	return &h2
+}
+
 // WriteCacheRejects reports how many writes overflowed the controller
 // cache and fell through to spindle latency.
 func (h *HDD) WriteCacheRejects() uint64 { return h.wcRejects }
@@ -287,6 +313,12 @@ type Server struct {
 	onDispatch func(*block.Request)
 	onRelease  func(*block.Request)
 	freeOps    []*inflightOp
+	// live tracks dispatched-but-uncompleted ops and stalls the pending
+	// stall slots: the working set a fork must clone and rebind. Each op
+	// carries its pending event handle for exactly that purpose.
+	live       []*inflightOp
+	stalls     []*stallOp
+	freeStalls []*stallOp
 }
 
 // inflightOp carries one dispatched request to its completion event. Ops
@@ -294,20 +326,23 @@ type Server struct {
 // completions) and their completion callback is bound once at allocation,
 // so steady-state dispatch allocates nothing.
 type inflightOp struct {
-	s  *Server
-	r  *block.Request
-	fn func() // bound to complete once, at allocation
+	s   *Server
+	r   *block.Request
+	idx int       // position in s.live, for swap-remove
+	ev  sim.Event // the pending completion event, for fork rebinding
+	fn  func()    // bound to complete once, at allocation
 }
 
 func (op *inflightOp) complete() {
 	s, r := op.s, op.r
+	s.dropLive(op)
 	op.r = nil
 	s.freeOps = append(s.freeOps, op)
 	r.Complete = s.eng.Now()
 	s.inflight--
 	s.completed++
 	if r.OnComplete != nil {
-		r.OnComplete(r)
+		r.OnComplete.Complete(r)
 	}
 	if s.onDone != nil {
 		s.onDone(r)
@@ -316,6 +351,17 @@ func (op *inflightOp) complete() {
 		s.onRelease(r)
 	}
 	s.Kick()
+}
+
+// dropLive swap-removes op from the live set. Live order is bookkeeping
+// only (each op carries its own event handle), so the swap is invisible
+// to simulation behavior.
+func (s *Server) dropLive(op *inflightOp) {
+	last := len(s.live) - 1
+	s.live[op.idx] = s.live[last]
+	s.live[op.idx].idx = op.idx
+	s.live[last] = nil
+	s.live = s.live[:last]
 }
 
 // getOp pops a pooled inflight op, allocating on pool miss.
@@ -328,6 +374,39 @@ func (s *Server) getOp(r *block.Request) *inflightOp {
 	}
 	op := &inflightOp{s: s, r: r}
 	op.fn = op.complete
+	return op
+}
+
+// stallOp is one pending Stall slot occupation, tracked like an inflight
+// op so forks can rebind its wakeup event.
+type stallOp struct {
+	s   *Server
+	idx int
+	ev  sim.Event
+	fn  func()
+}
+
+func (op *stallOp) fire() {
+	s := op.s
+	last := len(s.stalls) - 1
+	s.stalls[op.idx] = s.stalls[last]
+	s.stalls[op.idx].idx = op.idx
+	s.stalls[last] = nil
+	s.stalls = s.stalls[:last]
+	s.freeStalls = append(s.freeStalls, op)
+	s.inflight--
+	s.Kick()
+}
+
+// getStall pops a pooled stall op, allocating on pool miss.
+func (s *Server) getStall() *stallOp {
+	if n := len(s.freeStalls); n > 0 {
+		op := s.freeStalls[n-1]
+		s.freeStalls = s.freeStalls[:n-1]
+		return op
+	}
+	op := &stallOp{s: s}
+	op.fn = op.fire
 	return op
 }
 
@@ -372,10 +451,10 @@ func (s *Server) Stall(d time.Duration) {
 		return
 	}
 	s.inflight++
-	s.eng.After(d, func() {
-		s.inflight--
-		s.Kick()
-	})
+	op := s.getStall()
+	op.idx = len(s.stalls)
+	s.stalls = append(s.stalls, op)
+	op.ev = s.eng.After(d, op.fn)
 }
 
 func (s *Server) dispatch(r *block.Request) {
@@ -386,7 +465,10 @@ func (s *Server) dispatch(r *block.Request) {
 	}
 	svc := s.model.Service(r)
 	s.busy += svc
-	s.eng.After(svc, s.getOp(r).fn)
+	op := s.getOp(r)
+	op.idx = len(s.live)
+	s.live = append(s.live, op)
+	op.ev = s.eng.After(svc, op.fn)
 }
 
 // Inflight returns the number of requests currently being serviced.
@@ -408,4 +490,59 @@ func (s *Server) Utilization(elapsed time.Duration) float64 {
 
 func (s *Server) String() string {
 	return fmt.Sprintf("server(%s inflight=%d done=%d)", s.model.Name(), s.inflight, s.completed)
+}
+
+// CloneableModel is a Model that can be deep-copied for a stack fork,
+// cloning any internal RNG and locality state.
+type CloneableModel interface {
+	Model
+	CloneModel() Model
+}
+
+// Model returns the server's device model (the fork machinery uses it to
+// re-attach an HDD clone's clock).
+func (s *Server) Model() Model { return s.model }
+
+// Clone deep-copies the server against a forked engine: the model's RNG
+// and locality state, every in-flight request (cloned through cl, its
+// pending completion event rebound into eng), and every pending stall
+// slot. The dispatch/done/release hooks are closures over the original
+// stack and are NOT carried over; the caller installs clone-side hooks
+// (onDone here, OnDispatch/OnRelease after). It fails if the model is not
+// cloneable or any pending event fails to rebind.
+func (s *Server) Clone(eng *sim.Engine, source Source, cl block.Cloner, onDone func(*block.Request)) (*Server, error) {
+	cm, ok := s.model.(CloneableModel)
+	if !ok {
+		return nil, fmt.Errorf("device: model %s is not cloneable", s.model.Name())
+	}
+	s2 := &Server{
+		eng:       eng,
+		model:     cm.CloneModel(),
+		source:    source,
+		inflight:  s.inflight,
+		busy:      s.busy,
+		completed: s.completed,
+		onDone:    onDone,
+	}
+	for _, op := range s.live {
+		op2 := &inflightOp{s: s2, r: cl.CloneRequest(op.r), idx: len(s2.live)}
+		op2.fn = op2.complete
+		ev, ok := eng.Rebind(op.ev, op2.fn)
+		if !ok {
+			return nil, fmt.Errorf("device: %s: in-flight completion event failed to rebind", s.model.Name())
+		}
+		op2.ev = ev
+		s2.live = append(s2.live, op2)
+	}
+	for _, op := range s.stalls {
+		op2 := &stallOp{s: s2, idx: len(s2.stalls)}
+		op2.fn = op2.fire
+		ev, ok := eng.Rebind(op.ev, op2.fn)
+		if !ok {
+			return nil, fmt.Errorf("device: %s: stall event failed to rebind", s.model.Name())
+		}
+		op2.ev = ev
+		s2.stalls = append(s2.stalls, op2)
+	}
+	return s2, nil
 }

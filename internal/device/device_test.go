@@ -187,12 +187,12 @@ func TestServerCompletionChain(t *testing.T) {
 	srv := NewServer(eng, s, q, nil)
 	chained := false
 	r := rd(0)
-	r.OnComplete = func(req *block.Request) {
+	r.OnComplete = block.CompleterFunc(func(req *block.Request) {
 		chained = true
 		if req.Complete == 0 {
 			t.Error("OnComplete ran before completion timestamp")
 		}
-	}
+	})
 	q.Push(r, 0)
 	srv.Kick()
 	eng.RunUntilIdle()

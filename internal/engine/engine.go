@@ -255,6 +255,19 @@ type Stack struct {
 	pumpFn      func()
 	pumpStopped bool
 
+	// Pending event handles for the self-rescheduling chains (arrival
+	// pump, monitor tick, flusher). Each chain stores the handle of its
+	// next scheduled link so Fork can locate and rebind it on the cloned
+	// engine; a handle whose event already fired is simply stale and
+	// ignored. The chain step bodies live in named methods, with the
+	// method values bound once (tickFn/flushFn) so rescheduling does not
+	// allocate.
+	pumpEv  sim.Event
+	tickEv  sim.Event
+	flushEv sim.Event
+	tickFn  func()
+	flushFn func()
+
 	// ctxDone, when non-nil, lets RunContext stop the run cooperatively:
 	// once it is closed no new arrivals or periodic ticks are scheduled
 	// and the event loop drains what is already in flight. The channel is
@@ -267,22 +280,25 @@ type Stack struct {
 type periodicTask struct {
 	every time.Duration
 	fn    func()
+	runFn func()    // chain step closure, created once when armed
+	ev    sim.Event // handle of the next scheduled link, for Fork rebinding
 }
 
 // appOp tracks one application request from admission to completion: the
 // arrival stamp for latency accounting, the outstanding device legs
-// (write-through fans out to two), and a pending promote. Its completion
-// callback is the request's OnComplete for every leg.
+// (write-through fans out to two), and a pending promote. The op itself
+// is the request's OnComplete completer for every leg (interface boxing
+// of an existing pointer — no allocation).
 type appOp struct {
 	st         *Stack
 	arrival    time.Duration
 	legs       int
 	promote    bool
 	promoteExt block.Extent
-	fn         func(*block.Request) // bound to complete once, at allocation
 }
 
-func (op *appOp) complete(r *block.Request) {
+// Complete implements block.Completer.
+func (op *appOp) Complete(r *block.Request) {
 	op.legs--
 	if op.legs > 0 {
 		return
@@ -301,6 +317,15 @@ func (op *appOp) complete(r *block.Request) {
 	}
 }
 
+// CloneFor implements block.ForkableCompleter. The memoizing cloner
+// guarantees a write-through fan-out's two legs resolve to one cloned op,
+// preserving the legs countdown.
+func (op *appOp) CloneFor(cl block.Cloner) block.Completer {
+	op2 := *op
+	op2.st = cl.Env(op.st).(*Stack)
+	return &op2
+}
+
 func (st *Stack) newAppOp(arrival time.Duration) *appOp {
 	var op *appOp
 	if n := len(st.freeAppOps); n > 0 {
@@ -308,7 +333,6 @@ func (st *Stack) newAppOp(arrival time.Duration) *appOp {
 		st.freeAppOps = st.freeAppOps[:n-1]
 	} else {
 		op = &appOp{st: st}
-		op.fn = op.complete
 	}
 	op.arrival = arrival
 	op.legs = 1
@@ -323,34 +347,59 @@ func (st *Stack) releaseAppOp(op *appOp) {
 
 // evictOp tracks one dirty-block eviction: the SSD read (Evict) whose
 // completion issues the HDD writeback, and — for background flushes — the
-// writeback completion that cleans the line.
+// writeback completion that cleans the line. The op is the Evict leg's
+// completer directly; the writeback leg installs the same allocation
+// viewed through the wbCompleter type, which dispatches to the
+// mark-clean path.
 type evictOp struct {
 	st        *Stack
 	ext       block.Extent
 	blockNum  int64
 	epoch     uint64
-	markClean bool                 // background flush: clean the line when the writeback lands
-	evictFn   func(*block.Request) // bound to evictDone once, at allocation
-	wbFn      func(*block.Request) // bound to wbDone once, at allocation
+	markClean bool // background flush: clean the line when the writeback lands
 }
 
-func (op *evictOp) evictDone(r *block.Request) {
+// Complete implements block.Completer for the Evict (SSD read) leg.
+func (op *evictOp) Complete(r *block.Request) {
 	st := op.st
 	wb := st.newReq(block.Writeback, op.ext)
 	wb.ParentID = r.ID
 	if op.markClean {
-		wb.OnComplete = op.wbFn
+		wb.OnComplete = (*wbCompleter)(op)
 		st.pushHDD(wb)
-		return // released in wbDone
+		return // released when the writeback completes
 	}
 	st.releaseEvictOp(op)
 	st.pushHDD(wb)
 }
 
-func (op *evictOp) wbDone(*block.Request) {
-	st := op.st
-	st.cch.MarkClean(op.blockNum, op.epoch)
-	st.releaseEvictOp(op)
+// CloneFor implements block.ForkableCompleter.
+func (op *evictOp) CloneFor(cl block.Cloner) block.Completer {
+	op2 := *op
+	op2.st = cl.Env(op.st).(*Stack)
+	return &op2
+}
+
+// wbCompleter is the writeback-leg view of an evictOp: the same
+// allocation under a second type, so both legs stay pooled together while
+// dispatching to different completion paths. Only one leg is ever in
+// flight at a time (the writeback is issued by the evict leg's
+// completion).
+type wbCompleter evictOp
+
+// Complete implements block.Completer for the Writeback (HDD write) leg.
+func (op *wbCompleter) Complete(*block.Request) {
+	e := (*evictOp)(op)
+	st := e.st
+	st.cch.MarkClean(e.blockNum, e.epoch)
+	st.releaseEvictOp(e)
+}
+
+// CloneFor implements block.ForkableCompleter.
+func (op *wbCompleter) CloneFor(cl block.Cloner) block.Completer {
+	e2 := *(*evictOp)(op)
+	e2.st = cl.Env(e2.st).(*Stack)
+	return (*wbCompleter)(&e2)
 }
 
 func (st *Stack) newEvictOp(ext block.Extent) *evictOp {
@@ -360,8 +409,6 @@ func (st *Stack) newEvictOp(ext block.Extent) *evictOp {
 		st.freeEvictOps = st.freeEvictOps[:n-1]
 	} else {
 		op = &evictOp{st: st}
-		op.evictFn = op.evictDone
-		op.wbFn = op.wbDone
 	}
 	op.ext = ext
 	op.blockNum = 0
@@ -601,7 +648,7 @@ func (st *Stack) issueVictims(victims []cache.Victim) {
 		// ranges themselves.
 		op := st.newEvictOp(st.cch.BlockExtent(v.Block))
 		ev := st.newReq(block.Evict, op.ext)
-		ev.OnComplete = op.evictFn
+		ev.OnComplete = op
 		st.pushSSD(ev)
 	}
 }
@@ -624,14 +671,14 @@ func (st *Stack) submit(wr workload.Request) {
 	switch {
 	case d.CacheRead:
 		r := st.newReq(block.AppRead, wr.Extent)
-		r.OnComplete = op.fn
+		r.OnComplete = op
 		st.pushSSD(r)
 
 	case d.DiskRead:
 		r := st.newReq(block.ReadMiss, wr.Extent)
 		op.promote = d.Promote
 		op.promoteExt = wr.Extent // merging may widen r.Extent; promote only our range
-		r.OnComplete = op.fn
+		r.OnComplete = op
 		st.pushHDD(r)
 
 	case d.CacheWrite && d.DiskWrite:
@@ -639,27 +686,27 @@ func (st *Stack) submit(wr workload.Request) {
 		op.legs = 2
 		cw := st.newReq(block.AppWrite, wr.Extent)
 		cw.Shadowed = true
-		cw.OnComplete = op.fn
+		cw.OnComplete = op
 		dw := st.newReq(block.BypassWrite, wr.Extent)
 		dw.ParentID = cw.ID
-		dw.OnComplete = op.fn
+		dw.OnComplete = op
 		st.pushSSD(cw)
 		st.pushHDD(dw)
 
 	case d.CacheWrite:
 		r := st.newReq(block.AppWrite, wr.Extent)
-		r.OnComplete = op.fn
+		r.OnComplete = op
 		st.pushSSD(r)
 
 	case d.DiskWrite:
 		r := st.newReq(block.BypassWrite, wr.Extent)
-		r.OnComplete = op.fn
+		r.OnComplete = op
 		st.pushHDD(r)
 
 	default:
 		// A decision with no transfer cannot happen; complete immediately
 		// so accounting never wedges if a future policy introduces one.
-		op.fn(nil)
+		op.Complete(nil)
 	}
 }
 
@@ -675,7 +722,7 @@ func (st *Stack) bypassAppRequest(wr workload.Request, op *appOp) {
 		st.cch.Invalidate(wr.Extent)
 	}
 	r := st.newReq(origin, wr.Extent)
-	r.OnComplete = op.fn
+	r.OnComplete = op
 	st.rec.Record(trace.Event{At: st.eng.Now(), Kind: trace.Bypassed, Dev: trace.HDD,
 		ID: r.ID, Origin: r.Origin, LBA: r.Extent.LBA, Sector: r.Extent.Sectors})
 	st.pushHDD(r)
@@ -728,7 +775,7 @@ func (st *Stack) RedirectTail(keep int) int {
 				st.cancelled++
 				r.Dispatch, r.Complete = now, now
 				if r.OnComplete != nil {
-					r.OnComplete(r)
+					r.OnComplete.Complete(r)
 				}
 				st.recycleReq(r)
 				continue
@@ -770,7 +817,7 @@ func (st *Stack) flushTick() {
 		op.blockNum, op.epoch = db.Block, db.Epoch
 		op.markClean = true
 		ev := st.newReq(block.Evict, op.ext)
-		ev.OnComplete = op.evictFn
+		ev.OnComplete = op
 		st.pushSSD(ev)
 	}
 }
@@ -800,7 +847,7 @@ func (st *Stack) pump() {
 		at = st.eng.Now()
 	}
 	st.pumpReq = wr
-	st.eng.At(at, st.pumpFn)
+	st.pumpEv = st.eng.At(at, st.pumpFn)
 }
 
 // halted reports whether the run's context has been cancelled. The event
@@ -844,6 +891,28 @@ func (st *Stack) Start(ctx context.Context, intervals int) {
 	// Arrival pump: schedule one arrival ahead. A single reused closure
 	// fires every arrival; the next request parks in pumpReq (only one
 	// arrival event is ever outstanding, so the slot cannot be clobbered).
+	st.bindChainFns()
+	st.pump()
+
+	// Monitor tick chain.
+	st.tickEv = st.eng.After(st.cfg.MonitorEvery, st.tickFn)
+
+	// Flusher chain.
+	if st.cfg.FlushEvery > 0 && st.cfg.FlushBatch > 0 {
+		st.flushEv = st.eng.After(st.cfg.FlushEvery, st.flushFn)
+	}
+
+	// Balancer periodic chains.
+	for i := range st.periodics {
+		p := &st.periodics[i]
+		st.bindPeriodic(i)
+		p.ev = st.eng.After(p.every, p.runFn)
+	}
+}
+
+// bindChainFns creates the pump/tick/flush chain closures once per stack.
+// Fork calls it on the clone before rebinding the pending chain events.
+func (st *Stack) bindChainFns() {
 	if st.pumpFn == nil {
 		st.pumpFn = func() {
 			wr := st.pumpReq
@@ -851,55 +920,59 @@ func (st *Stack) Start(ctx context.Context, intervals int) {
 			st.pump()
 		}
 	}
-	st.pump()
-
-	// Monitor tick chain.
-	var tick func()
-	tick = func() {
-		if st.halted() {
-			return
-		}
-		st.mon.Tick(st.eng.Now())
-		st.ticks++
-		if st.maxTicks > 0 && st.ticks >= st.maxTicks {
-			return
-		}
-		st.eng.After(st.cfg.MonitorEvery, tick)
+	if st.tickFn == nil {
+		st.tickFn = st.tickStep
 	}
-	st.eng.After(st.cfg.MonitorEvery, tick)
-
-	// Flusher chain.
-	if st.cfg.FlushEvery > 0 && st.cfg.FlushBatch > 0 {
-		var fl func()
-		fl = func() {
-			if st.halted() {
-				return
-			}
-			st.flushTick()
-			if st.maxTicks > 0 && st.ticks >= st.maxTicks {
-				return
-			}
-			st.eng.After(st.cfg.FlushEvery, fl)
-		}
-		st.eng.After(st.cfg.FlushEvery, fl)
+	if st.flushFn == nil {
+		st.flushFn = st.flushStep
 	}
+}
 
-	// Balancer periodic chains.
-	for _, p := range st.periodics {
-		p := p
-		var run func()
-		run = func() {
-			if st.halted() {
-				return
-			}
-			p.fn()
-			if st.maxTicks > 0 && st.ticks >= st.maxTicks {
-				return
-			}
-			st.eng.After(p.every, run)
-		}
-		st.eng.After(p.every, run)
+// bindPeriodic creates the chain closure for periodic task i. The index is
+// captured (not a task pointer) because the periodics slice may grow.
+func (st *Stack) bindPeriodic(i int) {
+	if st.periodics[i].runFn == nil {
+		st.periodics[i].runFn = func() { st.periodicStep(i) }
 	}
+}
+
+// tickStep is one link of the monitor tick chain: close the interval and
+// schedule the next link unless the run is over.
+func (st *Stack) tickStep() {
+	if st.halted() {
+		return
+	}
+	st.mon.Tick(st.eng.Now())
+	st.ticks++
+	if st.maxTicks > 0 && st.ticks >= st.maxTicks {
+		return
+	}
+	st.tickEv = st.eng.After(st.cfg.MonitorEvery, st.tickFn)
+}
+
+// flushStep is one link of the background flusher chain.
+func (st *Stack) flushStep() {
+	if st.halted() {
+		return
+	}
+	st.flushTick()
+	if st.maxTicks > 0 && st.ticks >= st.maxTicks {
+		return
+	}
+	st.flushEv = st.eng.After(st.cfg.FlushEvery, st.flushFn)
+}
+
+// periodicStep is one link of balancer periodic chain i.
+func (st *Stack) periodicStep(i int) {
+	if st.halted() {
+		return
+	}
+	p := &st.periodics[i]
+	p.fn()
+	if st.maxTicks > 0 && st.ticks >= st.maxTicks {
+		return
+	}
+	p.ev = st.eng.After(p.every, p.runFn)
 }
 
 // StepTo executes events up to and including virtual time t, then parks

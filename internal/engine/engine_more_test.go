@@ -227,7 +227,7 @@ func TestStallDelaysService(t *testing.T) {
 	st.StallSSD(10 * time.Millisecond)
 	done := false
 	r := &block.Request{ID: 1, Origin: block.AppRead, Extent: block.Extent{LBA: 0, Sectors: 8}}
-	r.OnComplete = func(*block.Request) { done = true }
+	r.OnComplete = block.CompleterFunc(func(*block.Request) { done = true })
 	st.SSDQueue().Push(r, 0)
 	st.Engine().Run(5 * time.Millisecond)
 	if done {

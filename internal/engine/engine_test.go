@@ -267,7 +267,7 @@ func TestRedirectTailCancelsShadowedWrites(t *testing.T) {
 
 	completed := false
 	r := &block.Request{ID: 1, Origin: block.AppWrite, Extent: block.Extent{LBA: 0, Sectors: 8}, Shadowed: true}
-	r.OnComplete = func(*block.Request) { completed = true }
+	r.OnComplete = block.CompleterFunc(func(*block.Request) { completed = true })
 	st.SSDQueue().Push(r, 0)
 	if st.RedirectTail(0) != 1 {
 		t.Fatal("shadowed write not extracted")

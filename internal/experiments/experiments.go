@@ -247,6 +247,32 @@ func Run(spec Spec) *engine.Results {
 	return RunContext(context.Background(), spec)
 }
 
+// engineConfig builds the per-stack engine configuration for a
+// normalized spec — the single place the sweep axes (seed, interval,
+// cache geometry) become engine knobs, shared by the scratch and
+// warm-fork run paths.
+func (s Spec) engineConfig() engine.Config {
+	cfg := engine.DefaultConfig()
+	cfg.Seed = s.Seed
+	cfg.MonitorEvery = s.Interval
+	if s.CacheMult != 1 {
+		// Clamped in float space before the int conversion: an absurd
+		// multiplier would otherwise overflow to min-int and silently
+		// become the smallest possible cache. 1<<22 sets is a 128 GiB
+		// cache at the default geometry — past any meaningful sweep.
+		f := math.Round(float64(cfg.Cache.Sets) * s.CacheMult)
+		if f < 1 {
+			f = 1
+		}
+		if f > 1<<22 {
+			f = 1 << 22
+		}
+		cfg.Cache.Sets = int(f)
+		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
+	}
+	return cfg
+}
+
 // RunContext is Run with cooperative cancellation: a cancelled ctx stops
 // the simulation at the next event boundary and returns the partial
 // results accumulated so far.
@@ -260,24 +286,7 @@ func Run(spec Spec) *engine.Results {
 // covers the volumes that finished.
 func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	spec = spec.Normalize()
-	cfg := engine.DefaultConfig()
-	cfg.Seed = spec.Seed
-	cfg.MonitorEvery = spec.Interval
-	if spec.CacheMult != 1 {
-		// Clamped in float space before the int conversion: an absurd
-		// multiplier would otherwise overflow to min-int and silently
-		// become the smallest possible cache. 1<<22 sets is a 128 GiB
-		// cache at the default geometry — past any meaningful sweep.
-		f := math.Round(float64(cfg.Cache.Sets) * spec.CacheMult)
-		if f < 1 {
-			f = 1
-		}
-		if f > 1<<22 {
-			f = 1 << 22
-		}
-		cfg.Cache.Sets = int(f)
-		cfg.PrewarmBlocks = cfg.Cache.Sets * cfg.Cache.Ways
-	}
+	cfg := spec.engineConfig()
 	if spec.Volumes <= 1 {
 		// The single-stack path is exactly the pre-array pipeline — no
 		// router, no filter, the run seed untouched — so Volumes: 1 output

@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"lbica/internal/engine"
+)
+
+// CanShareWarmup reports whether a group of specs differing only by
+// scheme can share one simulated warmup prefix of warmupIntervals via
+// stack forking (see RunWarmShared). Sharing needs a forkable leader
+// scheme in the group (LBICA, or ARRAY-LB which at one volume runs as
+// plain LBICA), a single-volume configuration (a multi-volume array's
+// per-volume generators are router closures the fork cannot copy), and
+// a warmup strictly shorter than the run. SIB never shares: it diverges
+// from every other scheme at t=0 (WT+WO policy pin plus periodic queue
+// scans that stall the SSD), so there is no common prefix to reuse.
+func CanShareWarmup(specs []Spec, warmupIntervals int) bool {
+	if warmupIntervals <= 0 || len(specs) < 2 {
+		return false
+	}
+	leader := -1
+	for i, s := range specs {
+		if s.Scheme == SchemeLBICA || s.Scheme == SchemeArrayLB {
+			leader = i
+			break
+		}
+	}
+	if leader < 0 {
+		return false
+	}
+	ls := specs[leader].Normalize()
+	return ls.Volumes == 1 && warmupIntervals < ls.Intervals
+}
+
+// RunWarmShared executes a group of specs that differ only by scheme,
+// simulating their common warmup prefix once: a leader stack (LBICA — or
+// ARRAY-LB, which at one volume is LBICA relabeled) runs to the warmup
+// barrier, each other scheme's run is forked from it there, and every
+// branch then runs to completion independently. Results are returned in
+// spec order and are byte-identical to running each spec from scratch:
+//
+//   - An LBICA or ARRAY-LB member forks the leader's balancer state
+//     (identical by construction — the schemes share the same balancer
+//     at one volume and the whole prefix).
+//   - A WB member forks with the balancer dropped, valid only while the
+//     leader's balancer has not observably acted (engine.BalancerActed);
+//     a balancer that already bypassed or switched policy means the
+//     prefixes diverged, and the WB cell falls back to a scratch run.
+//   - SIB members and any fork failure fall back to a scratch run.
+//
+// When the group cannot share at all (CanShareWarmup false) every member
+// runs from scratch, making RunWarmShared a drop-in replacement for
+// per-spec RunContext calls.
+func RunWarmShared(ctx context.Context, specs []Spec, warmupIntervals int) []*engine.Results {
+	out := make([]*engine.Results, len(specs))
+	if !CanShareWarmup(specs, warmupIntervals) {
+		for i, s := range specs {
+			out[i] = RunContext(ctx, s)
+		}
+		return out
+	}
+	leaderIdx := -1
+	for i, s := range specs {
+		// Prefer a plain LBICA leader so the ARRAY-LB relabel stays the
+		// special case rather than the leader's.
+		if s.Scheme == SchemeLBICA {
+			leaderIdx = i
+			break
+		}
+	}
+	if leaderIdx < 0 {
+		for i, s := range specs {
+			if s.Scheme == SchemeArrayLB {
+				leaderIdx = i
+				break
+			}
+		}
+	}
+
+	spec := specs[leaderIdx].Normalize()
+	cfg := spec.engineConfig()
+	leader := engine.New(cfg, NewGenerator(spec), NewBalancerWithThresholds(SchemeLBICA, spec.Thresholds))
+	leader.Start(ctx, spec.Intervals)
+	leader.StepTo(time.Duration(warmupIntervals) * spec.Interval)
+
+	finish := func(st *engine.Stack, s Spec) *engine.Results {
+		st.Drain()
+		res := st.Collect()
+		res.Workload = s.Workload
+		if s.Scheme == SchemeArrayLB {
+			res.Scheme = SchemeArrayLB
+		}
+		return res
+	}
+
+	for i, s := range specs {
+		if i == leaderIdx {
+			continue
+		}
+		switch s.Scheme {
+		case SchemeWB:
+			if !leader.BalancerActed() {
+				if f, err := leader.Fork(ctx, engine.DropBalancer); err == nil {
+					out[i] = finish(f, s)
+					continue
+				}
+			}
+			out[i] = RunContext(ctx, s)
+		case SchemeLBICA, SchemeArrayLB:
+			if f, err := leader.Fork(ctx, nil); err == nil {
+				out[i] = finish(f, s)
+				continue
+			}
+			out[i] = RunContext(ctx, s)
+		default:
+			out[i] = RunContext(ctx, s)
+		}
+	}
+	out[leaderIdx] = finish(leader, specs[leaderIdx])
+	return out
+}

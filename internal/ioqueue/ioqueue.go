@@ -24,28 +24,29 @@ type node struct {
 }
 
 // chain is one pooled merge-completion link: when a merged head finishes,
-// run propagates the completion to the absorbed request. Pooling the links
-// (with a pre-bound method value) keeps merge-heavy workloads from
-// allocating a closure per absorbed request.
+// Complete propagates the completion to the absorbed request. Pooling the
+// links keeps merge-heavy workloads from allocating per absorbed request;
+// the chain itself is the head request's Completer, so installing it is
+// interface boxing of an existing pointer — no allocation.
 type chain struct {
 	q        *Queue
-	prev     func(*block.Request)
+	prev     block.Completer
 	absorbed *block.Request
-	fn       func(*block.Request) // bound to run once, at pool insertion
 }
 
-func (c *chain) run(head *block.Request) {
+// Complete implements block.Completer for the merged head.
+func (c *chain) Complete(head *block.Request) {
 	prev, absorbed := c.prev, c.absorbed
 	c.prev, c.absorbed = nil, nil
 	q := c.q
 	if prev != nil {
-		prev(head)
+		prev.Complete(head)
 	}
 	absorbed.Dispatch = head.Dispatch
 	absorbed.Complete = head.Complete
 	absorbed.Merged = head.Merged
 	if absorbed.OnComplete != nil {
-		absorbed.OnComplete(absorbed)
+		absorbed.OnComplete.Complete(absorbed)
 	}
 	if q.recycle != nil {
 		// Absorbed requests never reach a device server, so the server-side
@@ -53,6 +54,17 @@ func (c *chain) run(head *block.Request) {
 		q.recycle(absorbed)
 	}
 	q.freeChains = append(q.freeChains, c)
+}
+
+// CloneFor implements block.ForkableCompleter: the cloned chain targets
+// the forked queue (via the cloner's environment) and the cloned absorbed
+// request, recursing into any earlier link of the merge chain.
+func (c *chain) CloneFor(cl block.Cloner) block.Completer {
+	return &chain{
+		q:        cl.Env(c.q).(*Queue),
+		prev:     cl.CloneCompleter(c.prev),
+		absorbed: cl.CloneRequest(c.absorbed),
+	}
 }
 
 // Queue is a single device's pending-request queue. The zero value is not
@@ -240,22 +252,19 @@ func (q *Queue) absorb(n *node, r *block.Request, back bool) {
 	c := q.getChain()
 	c.prev = n.req.OnComplete
 	c.absorbed = r
-	n.req.OnComplete = c.fn
+	n.req.OnComplete = c
 	q.index(n)
 	_ = back
 }
 
-// getChain pops a pooled merge-chain link, allocating (and binding its
-// method value once) on pool miss.
+// getChain pops a pooled merge-chain link, allocating on pool miss.
 func (q *Queue) getChain() *chain {
 	if n := len(q.freeChains); n > 0 {
 		c := q.freeChains[n-1]
 		q.freeChains = q.freeChains[:n-1]
 		return c
 	}
-	c := &chain{q: q}
-	c.fn = c.run
-	return c
+	return &chain{q: q}
 }
 
 // getNode pops a pooled list node, allocating on pool miss.
@@ -417,4 +426,55 @@ func (q *Queue) ExtractTail(keep int) []*block.Request {
 // Eq. 1 applied to a single queue position, the quantity SIB ranks by.
 func EstimatedWait(pos int, svc time.Duration) time.Duration {
 	return time.Duration(pos) * svc
+}
+
+// Clone returns a deep copy of the queue for a stack fork: counters,
+// census and discipline state copied, every pending request cloned
+// through cl in list order, and the elevator hashes rebuilt against the
+// cloned nodes — so the clone's merge candidates and overwrite history
+// match the original's exactly (every hash value always references a
+// currently-queued node, which is what makes the map copy sufficient).
+// The node/chain pools start empty (pooled objects are fully reset on
+// reuse, so pool population is invisible to behavior) and the recycle
+// hook is not copied: the forked stack re-registers its own.
+func (q *Queue) Clone(cl block.Cloner) *Queue {
+	q2 := &Queue{
+		name:            q.name,
+		size:            q.size,
+		census:          q.census,
+		backHash:        make(map[int64]*node, len(q.backHash)),
+		frontHash:       make(map[int64]*node, len(q.frontHash)),
+		maxMergeSectors: q.maxMergeSectors,
+		discipline:      q.discipline,
+		headPos:         q.headPos,
+		sweepUp:         q.sweepUp,
+		pushed:          q.pushed,
+		popped:          q.popped,
+		merges:          q.merges,
+		bypassed:        q.bypassed,
+		depthPeak:       q.depthPeak,
+		arrivals:        q.arrivals,
+	}
+	// Register the shell before walking pending requests: their chain
+	// completers resolve this queue through cl.Env.
+	cl.Register(q, q2)
+	nodes := make(map[*node]*node, q.size)
+	for n := q.head; n != nil; n = n.next {
+		n2 := &node{req: cl.CloneRequest(n.req)}
+		nodes[n] = n2
+		if q2.tail == nil {
+			q2.head, q2.tail = n2, n2
+		} else {
+			n2.prev = q2.tail
+			q2.tail.next = n2
+			q2.tail = n2
+		}
+	}
+	for k, n := range q.backHash {
+		q2.backHash[k] = nodes[n]
+	}
+	for k, n := range q.frontHash {
+		q2.frontHash[k] = nodes[n]
+	}
+	return q2
 }

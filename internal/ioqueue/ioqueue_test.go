@@ -139,9 +139,9 @@ func TestMergedCompletionChains(t *testing.T) {
 	q := New("ssd")
 	var done []uint64
 	a := req(1, block.AppWrite, 100, 8)
-	a.OnComplete = func(r *block.Request) { done = append(done, 1) }
+	a.OnComplete = block.CompleterFunc(func(r *block.Request) { done = append(done, 1) })
 	b := req(2, block.AppWrite, 108, 8)
-	b.OnComplete = func(r *block.Request) {
+	b.OnComplete = block.CompleterFunc(func(r *block.Request) {
 		done = append(done, 2)
 		if r.Complete != 500 {
 			t.Errorf("absorbed request Complete = %v, want 500", r.Complete)
@@ -149,14 +149,14 @@ func TestMergedCompletionChains(t *testing.T) {
 		if r.Submit != 10 {
 			t.Errorf("absorbed request Submit = %v, want its own 10", r.Submit)
 		}
-	}
+	})
 	q.Push(a, 0)
 	q.Push(b, 10)
 	h := q.Pop()
 	h.Dispatch = 100
 	h.Complete = 500
 	if h.OnComplete != nil {
-		h.OnComplete(h)
+		h.OnComplete.Complete(h)
 	}
 	if len(done) != 2 || done[0] != 1 || done[1] != 2 {
 		t.Fatalf("completion chain = %v, want [1 2]", done)

@@ -18,6 +18,7 @@ import (
 	"lbica/internal/experiments"
 	"lbica/internal/ioqueue"
 	"lbica/internal/sim"
+	"lbica/internal/sweep"
 )
 
 // Result is one benchmark measurement.
@@ -63,6 +64,8 @@ func Suite(intervals int) []Bench {
 		{"shard/volumes4-parallel", func(b *testing.B) { BenchShard(b, intervals, 4, 0) }},
 		{"array/volumes3-static", func(b *testing.B) { BenchArray(b, intervals, experiments.SchemeLBICA) }},
 		{"array/volumes3-controller", func(b *testing.B) { BenchArray(b, intervals, experiments.SchemeArrayLB) }},
+		{"sweep/scratch", func(b *testing.B) { BenchSweep(b, intervals, false) }},
+		{"sweep/warm-fork", func(b *testing.B) { BenchSweep(b, intervals, true) }},
 	}
 }
 
@@ -272,6 +275,39 @@ func BenchArray(b *testing.B, intervals int, scheme string) {
 		})
 		if res.AppCompleted == 0 {
 			b.Fatal("array run completed no requests")
+		}
+	}
+}
+
+// BenchSweep runs a one-coordinate, three-scheme comparison grid (tpcc ×
+// {wb, lbica, array-lb}) through the sweep executor with one worker
+// (0 = paper scale). The scratch/warm-fork pair behind BENCH_sweep.json
+// isolates the shared-warmup win: with warmFork the group's common
+// prefix — three quarters of the run — is simulated once and each
+// sibling scheme is forked from the warm state, while the emitted
+// results stay byte-identical to scratch (the sweep package's warm-fork
+// identity test), so the whole delta is simulation work saved.
+func BenchSweep(b *testing.B, intervals int, warmFork bool) {
+	iv := intervals
+	if iv == 0 {
+		iv = experiments.PaperIntervals(experiments.WorkloadTPCC)
+	}
+	g := sweep.Grid{
+		Workloads: []string{experiments.WorkloadTPCC},
+		Schemes:   []string{experiments.SchemeWB, experiments.SchemeLBICA, experiments.SchemeArrayLB},
+		Seed:      1,
+		Intervals: iv,
+	}
+	if warmFork {
+		g.WarmupIntervals = iv * 3 / 4
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Execute(context.Background(), g, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Total || res.Completed == 0 {
+			b.Fatalf("sweep completed %d of %d runs", res.Completed, res.Total)
 		}
 	}
 }

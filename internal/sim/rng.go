@@ -12,7 +12,31 @@ import (
 // identical workload.
 type RNG struct {
 	name string
+	seed int64 // the derived (seed ^ name-hash) source seed
+	src  *countingSource
 	r    *rand.Rand
+}
+
+// countingSource wraps a rand.Source and counts raw Int63 draws, which is
+// what makes RNG.Clone possible: a clone reseeds a fresh source and
+// fast-forwards it by replaying the recorded draw count. The wrapper
+// deliberately does NOT implement rand.Source64 — rand.Rand routes every
+// method this package uses (Float64, Intn, Int63n, NormFloat64,
+// ExpFloat64, Perm) through src.Int63() alone, and keeping Uint64 off the
+// interface guarantees the draw counter sees every consumed value.
+type countingSource struct {
+	src rand.Source
+	n   uint64
+}
+
+func (c *countingSource) Int63() int64 {
+	c.n++
+	return c.src.Int63()
+}
+
+func (c *countingSource) Seed(seed int64) {
+	c.n = 0
+	c.src.Seed(seed)
 }
 
 // NewRNG derives a stream from a run seed and a component name. The same
@@ -20,7 +44,24 @@ type RNG struct {
 func NewRNG(seed int64, name string) *RNG {
 	h := fnv.New64a()
 	h.Write([]byte(name))
-	return &RNG{name: name, r: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
+	derived := seed ^ int64(h.Sum64())
+	src := &countingSource{src: rand.NewSource(derived)}
+	return &RNG{name: name, seed: derived, src: src, r: rand.New(src)}
+}
+
+// Clone returns an independent RNG positioned at exactly this stream's
+// current point: the clone's future draws match the original's draw for
+// draw, and advancing either side never perturbs the other. It works by
+// reseeding a fresh source with the stream's derived seed and replaying
+// the recorded raw draw count, so cloning is O(draws so far) but needs no
+// access to math/rand internals.
+func (g *RNG) Clone() *RNG {
+	src := &countingSource{src: rand.NewSource(g.seed)}
+	for i := uint64(0); i < g.src.n; i++ {
+		src.src.Int63()
+	}
+	src.n = g.src.n
+	return &RNG{name: g.name, seed: g.seed, src: src, r: rand.New(src)}
 }
 
 // Stream splits a base seed into the seed for run runIndex of a batch.
@@ -95,6 +136,11 @@ func NewZipf(g *RNG, n int, s float64) *Zipfian {
 	}
 	return &Zipfian{g: g, cdf: cdf}
 }
+
+// WithRNG returns a Zipfian over the same precomputed CDF drawing from g —
+// the cloning hook: the CDF is immutable and safely shared, so cloning a
+// generator that owns a Zipfian is WithRNG(clonedRNG).
+func (z *Zipfian) WithRNG(g *RNG) *Zipfian { return &Zipfian{g: g, cdf: z.cdf} }
 
 // Next draws a rank.
 func (z *Zipfian) Next() int {

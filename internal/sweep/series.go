@@ -127,6 +127,12 @@ func sanitizeName(s string) string {
 // (runs an interrupted sweep never finished) are skipped. Writing happens
 // serially in expansion order and each file depends only on its own run's
 // data, so the exported bytes are identical for every worker count.
+//
+// Each file is written to a dot-prefixed temp name in dir and renamed
+// into place only once fully flushed, so an export interrupted mid-write
+// (the SIGINT partial-report path, a full disk, a crash) never leaves a
+// torn CSV behind: every "series_*.csv" present afterwards is complete
+// and parseable.
 func ExportSeries(dir string, pts []Point, results []*engine.Results) error {
 	if len(pts) != len(results) {
 		return fmt.Errorf("sweep: series export got %d points but %d results", len(pts), len(results))
@@ -138,19 +144,36 @@ func ExportSeries(dir string, pts []Point, results []*engine.Results) error {
 		if er == nil {
 			continue
 		}
-		path := filepath.Join(dir, SeriesFileName(pts[i]))
-		f, err := os.Create(path)
-		if err != nil {
-			return fmt.Errorf("sweep: series file: %w", err)
+		if err := writeSeriesFile(filepath.Join(dir, SeriesFileName(pts[i])), er); err != nil {
+			return err
 		}
-		werr := WriteRunSeriesCSV(f, er)
-		cerr := f.Close()
-		if werr != nil {
-			return fmt.Errorf("sweep: writing %s: %w", path, werr)
-		}
-		if cerr != nil {
-			return fmt.Errorf("sweep: closing %s: %w", path, cerr)
-		}
+	}
+	return nil
+}
+
+// writeSeriesFile atomically writes one run's series CSV: temp file in
+// the same directory (rename is only atomic within a filesystem), then
+// rename over the final path. The temp name derives from the final one,
+// so concurrent sweeps into distinct cells never collide and a retried
+// export simply overwrites its own leftover.
+func writeSeriesFile(path string, er *engine.Results) error {
+	tmp := filepath.Join(filepath.Dir(path), "."+filepath.Base(path)+".tmp")
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("sweep: series file: %w", err)
+	}
+	if err := WriteRunSeriesCSV(f, er); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: writing %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: closing %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("sweep: publishing %s: %w", path, err)
 	}
 	return nil
 }

@@ -2,11 +2,17 @@ package sweep
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
+	"time"
+
+	"lbica/internal/engine"
+	"lbica/internal/experiments"
+	"lbica/internal/iostat"
 )
 
 // seriesGrid exercises the burst axis and a bursting catalog workload so
@@ -129,6 +135,117 @@ func TestSeriesExportParallelMatchesSerial(t *testing.T) {
 		if !bytes.Equal(sb, pb) {
 			t.Errorf("series file %s differs between serial and parallel sweeps", name)
 		}
+	}
+}
+
+// TestSeriesExportInterruptedLeavesOnlyWholeFiles pins the torn-file fix:
+// a sweep cancelled mid-flight still exports the runs that finished, and
+// every series file present in the directory is whole — correct header,
+// full column count, parseable floats — with no temp-file debris. The
+// in-place writes this replaces could leave a half-written CSV behind.
+func TestSeriesExportInterruptedLeavesOnlyWholeFiles(t *testing.T) {
+	g := Grid{
+		Workloads:  []string{"tpcc"},
+		Schemes:    []string{"wb", "lbica"},
+		Replicates: 2,
+		Seed:       5,
+		Intervals:  4,
+	}
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(t.Context())
+	defer cancel()
+	res, err := Execute(ctx, g, Options{
+		Workers: 1,
+		OnDone: func(done, total int) {
+			if done >= total/2 {
+				cancel()
+			}
+		},
+		SeriesDir: dir,
+	})
+	if err == nil {
+		t.Fatal("interrupted sweep returned nil error")
+	}
+	if res.Completed == 0 || res.Completed >= res.Total {
+		t.Fatalf("want a genuine partial sweep, got %d of %d runs", res.Completed, res.Total)
+	}
+
+	files := readDir(t, dir)
+	if len(files) != res.Completed {
+		t.Fatalf("exported %d series files, want one per completed run (%d)", len(files), res.Completed)
+	}
+	header := "interval,cache_load_us,disk_load_us,hit_ratio,group,policy"
+	for name, data := range files {
+		if !strings.HasPrefix(name, "series_") || !strings.HasSuffix(name, ".csv") {
+			t.Fatalf("foreign file %q in series dir (temp debris?)", name)
+		}
+		lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+		if lines[0] != header {
+			t.Fatalf("%s: torn file — header %q", name, lines[0])
+		}
+		if rows := len(lines) - 1; rows != g.Intervals {
+			t.Errorf("%s: %d data rows, want %d — partial file survived the interrupt", name, rows, g.Intervals)
+		}
+		for _, line := range lines[1:] {
+			cols := strings.Split(line, ",")
+			if len(cols) != 6 {
+				t.Fatalf("%s: torn row %q", name, line)
+			}
+			for _, c := range cols[1:4] {
+				if _, err := strconv.ParseFloat(c, 64); err != nil {
+					t.Fatalf("%s: unparseable column %q: %v", name, c, err)
+				}
+			}
+		}
+	}
+}
+
+// TestSeriesExportPublishIsAtomic drives the temp-then-rename mechanism
+// directly: a write that fails before publish must leave the final path
+// absent — never a torn CSV — and a successful one must leave no temp
+// file behind.
+func TestSeriesExportPublishIsAtomic(t *testing.T) {
+	er := &engine.Results{Samples: []iostat.Sample{
+		{Interval: 0, End: 200 * time.Millisecond, CacheLoad: time.Millisecond, DiskLoad: 2 * time.Millisecond},
+		{Interval: 1, End: 400 * time.Millisecond, CacheLoad: 3 * time.Millisecond, DiskLoad: time.Millisecond},
+	}}
+	dir := t.TempDir()
+	pt := Point{Spec: experiments.Spec{Workload: "tpcc", Scheme: "WB", CacheMult: 1, RateFactor: 1, BurstMult: 1, Volumes: 1}}
+	path := filepath.Join(dir, SeriesFileName(pt))
+
+	// Block the temp slot with a directory: the write fails before ever
+	// touching the final path.
+	tmp := filepath.Join(dir, "."+filepath.Base(path)+".tmp")
+	if err := os.MkdirAll(filepath.Join(tmp, "occupied"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSeriesFile(path, er); err == nil {
+		t.Fatal("write into a blocked temp slot succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("failed write left something at the final path: %v", err)
+	}
+	if err := os.RemoveAll(tmp); err != nil {
+		t.Fatal(err)
+	}
+
+	// Unblocked, the publish lands whole and cleans up its temp file.
+	if err := writeSeriesFile(path, er); err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := WriteRunSeriesCSV(&want, er); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("published series file differs from the direct encoding")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Errorf("temp file survived a successful publish: %v", err)
 	}
 }
 

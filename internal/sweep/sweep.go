@@ -84,6 +84,26 @@ type Grid struct {
 	// nanoseconds of virtual time (0 = 200 ms).
 	Intervals int           `json:"intervals"`
 	Interval  time.Duration `json:"interval_ns"`
+	// WarmupIntervals, when > 0, turns on incremental (warm-fork) sweeps:
+	// the schemes of one controlled comparison — cells identical on every
+	// axis except the scheme — share a single simulated prefix of this
+	// many monitor intervals. One leader run (LBICA) executes the prefix,
+	// the sibling cells fork its complete state at the barrier
+	// (engine.Fork: engine, cache, queues, devices, RNG positions), and
+	// every branch runs to completion independently. Results are
+	// byte-identical to the default from-scratch execution; cells that
+	// cannot share (multi-volume arrays, SIB, groups without a forkable
+	// leader, a leader whose balancer already acted before the barrier)
+	// silently fall back to scratch runs. Anything that distinguishes the
+	// warmup prefix — workload, cache geometry, rate factor, burst
+	// multiplier, volume count, route skew, replicate seed — keys the
+	// grouping, so only true controlled comparisons ever share. 0 (the
+	// default) runs every cell from scratch.
+	//
+	// Excluded from the JSON grid echo: warm-fork is an execution
+	// strategy, not a grid axis, and the emitted sweep.json must stay
+	// byte-for-byte independent of it.
+	WarmupIntervals int `json:"-"`
 }
 
 // Normalize fills defaulted axes in place and returns the result: empty
@@ -152,6 +172,9 @@ func (g Grid) Validate() error {
 	}
 	if g.Interval < 0 {
 		return fmt.Errorf("sweep: negative monitor interval %v (0 means the 200ms default)", g.Interval)
+	}
+	if g.WarmupIntervals < 0 {
+		return fmt.Errorf("sweep: negative warmup interval count %d (0 disables warm-fork sharing)", g.WarmupIntervals)
 	}
 	g = g.Normalize()
 	for _, wl := range g.Workloads {
@@ -457,17 +480,45 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	}
 	g = g.Normalize()
 	pts := g.Expand()
+	// The unit is the scheduling granule: one point per unit in the
+	// default from-scratch mode, one warm-fork group per unit when
+	// WarmupIntervals is set (the group's members share a simulated
+	// prefix, so they must run in one job). Either way, every unit writes
+	// only its own members' slots in expansion order, so the sweep stays
+	// byte-identical for any worker count.
+	units := planUnits(g, pts)
 	ro := runner.Options{Workers: opt.Workers}
 	if opt.OnDone != nil {
-		ro.OnDone = func(_, done, total int) { opt.OnDone(done, total) }
+		donePts := 0
+		ro.OnDone = func(u, _, _ int) {
+			donePts += len(units[u])
+			opt.OnDone(donePts, len(pts))
+		}
 	}
 	// Slots of runs that never finished stay nil; a cancelled in-flight
 	// run returns its partial engine results but a non-nil ctx error keeps
 	// the slot empty — partial reports contain only whole runs.
-	cells, err := runner.Map(ctx, len(pts), ro,
-		func(ctx context.Context, i int) (*engine.Results, error) {
-			return experiments.RunContext(ctx, pts[i].Spec), ctx.Err()
+	unitRes, err := runner.Map(ctx, len(units), ro,
+		func(ctx context.Context, u int) ([]*engine.Results, error) {
+			idx := units[u]
+			if len(idx) == 1 {
+				return []*engine.Results{experiments.RunContext(ctx, pts[idx[0]].Spec)}, ctx.Err()
+			}
+			specs := make([]experiments.Spec, len(idx))
+			for k, i := range idx {
+				specs[k] = pts[i].Spec
+			}
+			return experiments.RunWarmShared(ctx, specs, g.WarmupIntervals), ctx.Err()
 		})
+	cells := make([]*engine.Results, len(pts))
+	for u, rs := range unitRes {
+		if rs == nil {
+			continue
+		}
+		for k, i := range units[u] {
+			cells[i] = rs[k]
+		}
+	}
 	res := &Result{Grid: g, Total: len(pts), Skipped: g.SkippedCombos()}
 	for i, er := range cells {
 		if er == nil {
@@ -485,6 +536,48 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 		err = errors.Join(err, ExportSeries(opt.SeriesDir, pts, cells))
 	}
 	return res, err
+}
+
+// warmKey strips the fields that distinguish the schemes of one
+// controlled comparison: everything left — workload, seed, intervals,
+// rate, cache and burst multipliers, volume count, route skew — shapes
+// the shared warmup prefix, so two specs with equal keys are the same
+// simulation until a balancer first acts. RouteVariant is stripped too:
+// it is set only on ARRAY-LB cells, and warm-fork groups only ever form
+// at one volume, where the variant is inert.
+func warmKey(s experiments.Spec) experiments.Spec {
+	s.Scheme = ""
+	s.RouteVariant = ""
+	return s
+}
+
+// planUnits partitions the expanded points into scheduling units. With
+// warm-fork sharing off every point is its own unit (the classic fully
+// parallel sweep). With it on, maximal runs of consecutive points that
+// agree on warmKey form one unit each — Expand keeps a comparison's
+// schemes adjacent (scheme is the innermost loop), so the grouping is a
+// single pass.
+func planUnits(g Grid, pts []Point) [][]int {
+	units := make([][]int, 0, len(pts))
+	if g.WarmupIntervals <= 0 {
+		for i := range pts {
+			units = append(units, []int{i})
+		}
+		return units
+	}
+	for i := 0; i < len(pts); {
+		j := i + 1
+		for j < len(pts) && warmKey(pts[j].Spec) == warmKey(pts[i].Spec) {
+			j++
+		}
+		u := make([]int, 0, j-i)
+		for k := i; k < j; k++ {
+			u = append(u, k)
+		}
+		units = append(units, u)
+		i = j
+	}
+	return units
 }
 
 func newRun(pt Point, er *engine.Results) Run {

@@ -97,8 +97,16 @@ type RecorderFunc func(Event)
 // Record implements Recorder.
 func (f RecorderFunc) Record(e Event) { f(e) }
 
+// discard is Discard's comparable concrete type: the engine's fork path
+// tests rec == Discard to refuse forking a traced stack, which panics on
+// interfaces holding func values.
+type discard struct{}
+
+// Record implements Recorder by dropping the event.
+func (discard) Record(Event) {}
+
 // Discard drops every event.
-var Discard Recorder = RecorderFunc(func(Event) {})
+var Discard Recorder = discard{}
 
 // MultiRecorder fans events out to several recorders.
 func MultiRecorder(rs ...Recorder) Recorder {

@@ -57,6 +57,13 @@ type GridSpec struct {
 	// paper's defaults).
 	Intervals      int
 	IntervalLength time.Duration
+	// WarmupIntervals, when positive, lets schemes that differ only by
+	// scheme share one simulated warmup prefix of that many intervals:
+	// the prefix is simulated once and every sibling scheme's run is
+	// forked from the warm state (falling back to a scratch run whenever
+	// sharing would change the output). Results stay byte-identical to a
+	// WarmupIntervals == 0 sweep; only wall-clock time changes.
+	WarmupIntervals int
 }
 
 // SweepOptions tunes sweep execution.
@@ -148,18 +155,19 @@ type SweepResult struct {
 // aggregating the runs that completed.
 func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, error) {
 	res, err := sweep.Execute(ctx, sweep.Grid{
-		Workloads:    g.Workloads,
-		Schemes:      g.Schemes,
-		CacheMults:   g.CacheMults,
-		RateFactors:  g.RateFactors,
-		BurstMults:   g.BurstMults,
-		Volumes:      g.Volumes,
-		RouteSkews:   g.RouteSkews,
-		RouteVariant: g.RouteVariant,
-		Replicates:   g.SeedReplicates,
-		Seed:         g.Seed,
-		Intervals:    g.Intervals,
-		Interval:     g.IntervalLength,
+		Workloads:       g.Workloads,
+		Schemes:         g.Schemes,
+		CacheMults:      g.CacheMults,
+		RateFactors:     g.RateFactors,
+		BurstMults:      g.BurstMults,
+		Volumes:         g.Volumes,
+		RouteSkews:      g.RouteSkews,
+		RouteVariant:    g.RouteVariant,
+		Replicates:      g.SeedReplicates,
+		Seed:            g.Seed,
+		Intervals:       g.Intervals,
+		Interval:        g.IntervalLength,
+		WarmupIntervals: g.WarmupIntervals,
 	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress, SeriesDir: opt.SeriesDir})
 	if res == nil {
 		return nil, err
