@@ -41,6 +41,15 @@
 //
 //	lbicasweep -warmup 50
 //
+// -ci-tol turns on cross-cell early termination: a grid coordinate stops
+// launching further seed replicates once every scheme's 95% confidence
+// half-width over the q-mean metric is within this fraction of its mean
+// (at least two replicates always run), and the freed worker slot moves
+// on to unfinished coordinates. Terminated cells are marked in the
+// output with their achieved half-width and actual replicate count:
+//
+//	lbicasweep -seeds 8 -ci-tol 0.05
+//
 // Beyond the paper trio, -workload accepts any workload-catalog name —
 // synthetic primitives (synth-randread, synth-seqwrite, ...), Zipf-
 // parameterized variants (synth-randread-zipf1.2) and the burst-mix
@@ -81,6 +90,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -164,6 +174,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		intervals    = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
 		interval     = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
 		warmup       = fs.Int("warmup", 0, "shared-warmup intervals: schemes at the same grid coordinate share one simulated warmup prefix of this length via state forking (0 = off; output bytes are identical either way)")
+		ciTol        = fs.Float64("ci-tol", 0, "relative confidence tolerance for early termination: stop a coordinate's seed replicates once every scheme's 95% CI half-width over the q-mean metric is within this fraction of its mean (0 = off, run every replicate; needs -seeds > 2 to save anything)")
 		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		format       = fs.String("format", "text", "stdout format: text|csv|json")
 		out          = fs.String("out", "", "also write sweep_cells.csv and sweep.json into this directory")
@@ -230,6 +241,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Intervals:       *intervals,
 		IntervalLength:  *interval,
 		WarmupIntervals: *warmup,
+		CITolerance:     *ciTol,
 	}
 	opt := lbica.SweepOptions{Workers: *workers, SeriesDir: *seriesDir}
 	start := time.Now()
@@ -255,6 +267,28 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// them, but csv/json stdout would swallow them silently.
 		for _, s := range res.Skipped {
 			fmt.Fprintln(stderr, "lbicasweep: skipped:", s)
+		}
+		// The warm plan's hit rate: without it a sharing regression (say,
+		// every cell silently falling back to scratch) only shows up as an
+		// unexplained slowdown.
+		if res.Warm != nil {
+			fmt.Fprintf(stderr, "lbicasweep: warm plan: %d leader, %d forked, %d scratch%s\n",
+				res.Warm.Leaders, res.Warm.Forked, res.Warm.Scratch, fallbackSummary(res.Warm.Fallbacks))
+		}
+		if grid.CITolerance > 0 {
+			reps := grid.SeedReplicates
+			if reps < 1 {
+				reps = 1
+			}
+			term, saved := 0, 0
+			for _, c := range res.Cells {
+				if c.EarlyTerminated {
+					term++
+					saved += reps - c.Replicates
+				}
+			}
+			fmt.Fprintf(stderr, "lbicasweep: early termination: %d/%d cells stopped early, %d replicate runs saved\n",
+				term, len(res.Cells), saved)
 		}
 	}
 
@@ -288,6 +322,25 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 
 // countSeriesFiles returns how many exported series CSVs dir holds (0 on
 // any read error).
+// fallbackSummary renders the scratch-fallback reasons of a warm plan as
+// a parenthesized, deterministically ordered suffix ("" when every run
+// shared).
+func fallbackSummary(m map[string]int) string {
+	if len(m) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = fmt.Sprintf("%s ×%d", k, m[k])
+	}
+	return " (" + strings.Join(parts, ", ") + ")"
+}
+
 func countSeriesFiles(dir string) int {
 	ents, err := os.ReadDir(dir)
 	if err != nil {

@@ -132,6 +132,9 @@ func TestRunRejectsSilentClampCandidates(t *testing.T) {
 		{"-burst-mult", "0"},
 		{"-burst-mult", "-1"},
 		{"-cache-mult", "0"},
+		{"-warmup", "-1"},
+		{"-ci-tol", "-0.5"},
+		{"-ci-tol", "NaN"},
 	} {
 		var out, errBuf strings.Builder
 		err := run(t.Context(), append(append([]string{}, args...), "-q"), &out, &errBuf)
@@ -252,6 +255,45 @@ func TestRunArrayAxes(t *testing.T) {
 		if err := run(t.Context(), append(args, "-intervals", "2", "-q"), &o, &e); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// -ci-tol drives the adaptive scheduler end to end: a loose tolerance
+// stops replicates at the CI floor, the text report carries the
+// early-termination summary, and stderr logs the count.
+func TestRunCITol(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workloads", "tpcc", "-schemes", "wb,lbica", "-seeds", "4",
+			"-intervals", "4", "-ci-tol", "1000"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(out.String(), "early termination: 2 of 2 cells stopped below 4 replicates (ci tolerance 1000)") {
+		t.Errorf("report missing the early-termination summary:\n%s", out.String())
+	}
+	if !strings.Contains(errBuf.String(), "early termination:") {
+		t.Errorf("stderr missing the early-termination count:\n%s", errBuf.String())
+	}
+}
+
+// -warmup surfaces the warm plan's outcome counts on stderr, so a sweep
+// that silently stopped sharing is visible.
+func TestRunWarmPlanLog(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(),
+		[]string{"-workloads", "tpcc", "-schemes", "wb,sib,lbica",
+			"-intervals", "6", "-warmup", "2"},
+		&out, &errBuf)
+	if err != nil {
+		t.Fatalf("run: %v (stderr: %s)", err, errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "warm plan: 1 leader,") {
+		t.Errorf("stderr missing the warm-plan summary:\n%s", errBuf.String())
+	}
+	if !strings.Contains(errBuf.String(), "sib ×1") {
+		t.Errorf("stderr missing the sib fallback count:\n%s", errBuf.String())
 	}
 }
 

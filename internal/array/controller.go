@@ -324,6 +324,29 @@ func (rt *adaptiveRouter) observe(loads []float64, smoothing, minShare float64) 
 	rt.rebuildCDF()
 }
 
+// clone deep-copies the router mid-run: the RNG resumes at the exact draw
+// position, every weight/estimate slice is copied, and the pin table is
+// rebuilt — afterwards the copy and the original share no mutable state,
+// so a forked controller adapts independently yet identically to a
+// from-scratch run that saw the same history.
+func (rt *adaptiveRouter) clone() *adaptiveRouter {
+	rt2 := &adaptiveRouter{
+		n:       rt.n,
+		variant: rt.variant,
+		rng:     rt.rng.Clone(),
+		weights: append([]float64(nil), rt.weights...),
+		cdf:     append([]float64(nil), rt.cdf...),
+		est:     append([]float64(nil), rt.est...),
+		primed:  rt.primed,
+		routed:  append([]uint64(nil), rt.routed...),
+		pins:    make(map[int64]int, len(rt.pins)),
+	}
+	for b, v := range rt.pins {
+		rt2.pins[b] = v
+	}
+	return rt2
+}
+
 // feedGen is the refillable per-volume generator under a controlled run:
 // the controller routes each interval's slice of the base stream into the
 // owning volume's feed before stepping it. It implements HotBlocks by
@@ -355,6 +378,19 @@ func (f *feedGen) HotBlocks(n int) []int64 {
 	return f.hot.HotBlocks(n)
 }
 
+// CloneGenerator implements workload.CloneableGenerator so
+// engine.Stack.Fork can deep-copy a controlled volume: the unconsumed
+// queue is copied, the consumed prefix dropped (Next never revisits it).
+// The prewarm delegate is shared — it is only read, and only before the
+// run starts; Controlled.Fork re-points it at the forked base stream.
+func (f *feedGen) CloneGenerator() workload.Generator {
+	return &feedGen{
+		name: f.name,
+		hot:  f.hot,
+		reqs: append([]workload.Request(nil), f.reqs[f.pos:]...),
+	}
+}
+
 func (f *feedGen) push(r workload.Request) {
 	if f.pos == len(f.reqs) {
 		// The volume consumed everything queued so far; recycle the slice
@@ -373,10 +409,13 @@ type hotCount struct {
 	count uint64
 }
 
-// RunControlled executes an array-lb run: cfg.Volumes stacks advance in
+// Controlled is a resumable array-lb run: cfg.Volumes stacks advancing in
 // lockstep, one monitor interval per round, with the controller routing
 // the base stream and re-deciding weights and migrations at every
-// interval barrier.
+// interval barrier. NewControlled builds it, StepTo advances it round by
+// round, Finish runs the remainder and collects; RunControlled is the
+// one-shot composition. Between StepTo calls the whole array is parked at
+// an interval barrier — the quiescent point Fork deep-copies.
 //
 // Determinism contract: the controller routes requests and makes every
 // decision serially, between rounds, from state the barrier freezes —
@@ -386,13 +425,36 @@ type hotCount struct {
 // writes before the controller's round-N reads (and the controller's
 // writes before every round-N+1 read). Merged output is therefore
 // byte-identical for every Workers value, including Workers == 1.
-//
-// build(vol, gen) must assemble volume vol's stack over gen — the
+type Controlled struct {
+	cfg          ControllerConfig // defaulted + validated
+	intervals    int
+	monitorEvery time.Duration
+
+	base   workload.Generator
+	rt     *adaptiveRouter
+	feeds  []*feedGen
+	stacks []*engine.Stack
+
+	// Per-volume, per-interval arrival counts by 4 KiB block — the
+	// controller's hotness signal for the migration pick.
+	counts []map[int64]uint64
+
+	// One-request lookahead over the base stream: route everything that
+	// arrives strictly before the deadline (a request at exactly the
+	// boundary belongs to the next interval, after the controller acted).
+	pending    workload.Request
+	hasPending bool
+
+	next   int // 1-based index of the next interval round to execute
+	loads  []float64
+	runErr error // sticky: first cancellation or pool error
+}
+
+// NewControlled assembles a controlled array run and starts its volume
+// stacks. build(vol, gen) must assemble volume vol's stack over gen — the
 // controller's per-volume feed — with MonitorEvery equal to monitorEvery.
-// The per-volume results land in Results.PerVolume exactly as for Run;
-// on cancellation only whole volumes are kept.
-func RunControlled(ctx context.Context, cfg ControllerConfig, intervals int, monitorEvery time.Duration, base workload.Generator,
-	build func(vol int, gen workload.Generator) (*engine.Stack, error)) (*Results, error) {
+func NewControlled(ctx context.Context, cfg ControllerConfig, intervals int, monitorEvery time.Duration, base workload.Generator,
+	build func(vol int, gen workload.Generator) (*engine.Stack, error)) (*Controlled, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -405,102 +467,199 @@ func RunControlled(ctx context.Context, cfg ControllerConfig, intervals int, mon
 	}
 	n := cfg.Volumes
 
-	rt := newAdaptiveRouter(cfg)
+	c := &Controlled{
+		cfg:          cfg,
+		intervals:    intervals,
+		monitorEvery: monitorEvery,
+		base:         base,
+		rt:           newAdaptiveRouter(cfg),
+		feeds:        make([]*feedGen, n),
+		stacks:       make([]*engine.Stack, n),
+		counts:       make([]map[int64]uint64, n),
+		next:         1,
+		loads:        make([]float64, n),
+	}
 	hot, _ := base.(interface{ HotBlocks(int) []int64 })
-	feeds := make([]*feedGen, n)
-	stacks := make([]*engine.Stack, n)
 	for v := 0; v < n; v++ {
-		feeds[v] = &feedGen{name: base.Name(), hot: hot}
-		st, err := build(v, feeds[v])
+		c.feeds[v] = &feedGen{name: base.Name(), hot: hot}
+		st, err := build(v, c.feeds[v])
 		if err != nil {
 			return nil, fmt.Errorf("array: building volume %d: %w", v, err)
 		}
-		stacks[v] = st
+		c.stacks[v] = st
 		st.Start(ctx, intervals)
 	}
-
-	// Per-volume, per-interval arrival counts by 4 KiB block — the
-	// controller's hotness signal for the migration pick.
-	counts := make([]map[int64]uint64, n)
-	for v := range counts {
-		counts[v] = make(map[int64]uint64)
+	for v := range c.counts {
+		c.counts[v] = make(map[int64]uint64)
 	}
+	c.pending, c.hasPending = base.Next()
+	return c, nil
+}
 
-	// One-request lookahead over the base stream: route everything that
-	// arrives strictly before the deadline (a request at exactly the
-	// boundary belongs to the next interval, after the controller acted).
-	pending, ok := base.Next()
-	routeBefore := func(deadline time.Duration) {
-		for ok && (deadline < 0 || pending.At < deadline) {
-			v := rt.route(pending)
-			feeds[v].push(pending)
-			counts[v][pending.Extent.LBA/workload.BlockSectors]++
-			pending, ok = base.Next()
-		}
+// routeBefore routes every base-stream request arriving strictly before
+// deadline into its volume's feed (deadline < 0 routes the remainder).
+func (c *Controlled) routeBefore(deadline time.Duration) {
+	for c.hasPending && (deadline < 0 || c.pending.At < deadline) {
+		v := c.rt.route(c.pending)
+		c.feeds[v].push(c.pending)
+		c.counts[v][c.pending.Extent.LBA/workload.BlockSectors]++
+		c.pending, c.hasPending = c.base.Next()
 	}
+}
 
-	loads := make([]float64, n)
-	runErr := ctx.Err()
-	for iv := 1; iv <= intervals && runErr == nil; iv++ {
-		deadline := time.Duration(iv) * monitorEvery
-		routeBefore(deadline)
-		_, err := runner.Map(ctx, n, runner.Options{Workers: cfg.Workers},
+// StepTo executes interval rounds up to and including interval (clamped
+// to the run length), leaving every volume parked at the interval barrier
+// with the controller's decisions for that barrier applied. Errors are
+// sticky: once a round fails (cancellation is the only source), further
+// StepTo calls return the same error without advancing.
+func (c *Controlled) StepTo(ctx context.Context, interval int) error {
+	if c.runErr == nil {
+		c.runErr = ctx.Err()
+	}
+	if interval > c.intervals {
+		interval = c.intervals
+	}
+	for ; c.next <= interval && c.runErr == nil; c.next++ {
+		deadline := time.Duration(c.next) * c.monitorEvery
+		c.routeBefore(deadline)
+		_, err := runner.Map(ctx, len(c.stacks), runner.Options{Workers: c.cfg.Workers},
 			func(_ context.Context, v int) (struct{}, error) {
-				stacks[v].ResumeArrivals()
-				stacks[v].StepTo(deadline)
+				c.stacks[v].ResumeArrivals()
+				c.stacks[v].StepTo(deadline)
 				return struct{}{}, nil
 			})
 		if err != nil {
-			runErr = err
+			c.runErr = err
 			break
 		}
-		// Barrier: every volume is parked at deadline with interval iv-1's
-		// sample closed. Read the census, adapt, migrate — serially.
-		for v, st := range stacks {
-			loads[v] = 0
+		// Barrier: every volume is parked at deadline with the previous
+		// interval's sample closed. Read the census, adapt, migrate —
+		// serially.
+		for v, st := range c.stacks {
+			c.loads[v] = 0
 			if s := st.Monitor().Samples(); len(s) > 0 {
 				last := s[len(s)-1]
-				loads[v] = float64(last.CacheLoad+last.DiskLoad) / float64(time.Microsecond)
+				c.loads[v] = float64(last.CacheLoad+last.DiskLoad) / float64(time.Microsecond)
 			}
 		}
-		rt.observe(loads, cfg.Smoothing, cfg.MinShare)
-		migrateHot(rt, stacks, counts, cfg)
-		for v := range counts {
-			clear(counts[v])
+		c.rt.observe(c.loads, c.cfg.Smoothing, c.cfg.MinShare)
+		migrateHot(c.rt, c.stacks, c.counts, c.cfg)
+		for v := range c.counts {
+			clear(c.counts[v])
 		}
 	}
+	return c.runErr
+}
 
+// Fork deep-copies the whole controlled array at its current interval
+// barrier: the base stream and the adaptive router (weights, estimates,
+// RNG position, pin table) are cloned, and every volume stack is forked
+// through engine.Stack.Fork — per-volume balancer state included. The
+// fork and the original share no mutable state; finishing the fork yields
+// results byte-identical to a from-scratch run of the same length.
+//
+// The base generator must implement workload.CloneableGenerator; Fork
+// fails otherwise, or when any volume's stack cannot fork.
+func (c *Controlled) Fork(ctx context.Context) (*Controlled, error) {
+	if c.runErr != nil {
+		return nil, c.runErr
+	}
+	cg, ok := c.base.(workload.CloneableGenerator)
+	if !ok {
+		return nil, fmt.Errorf("array: base generator %q is not cloneable", c.base.Name())
+	}
+	base2 := cg.CloneGenerator()
+	if base2 == nil {
+		return nil, fmt.Errorf("array: base generator %q failed to clone", c.base.Name())
+	}
+	c2 := &Controlled{
+		cfg:          c.cfg,
+		intervals:    c.intervals,
+		monitorEvery: c.monitorEvery,
+		base:         base2,
+		rt:           c.rt.clone(),
+		feeds:        make([]*feedGen, len(c.feeds)),
+		stacks:       make([]*engine.Stack, len(c.stacks)),
+		counts:       make([]map[int64]uint64, len(c.counts)),
+		pending:      c.pending,
+		hasPending:   c.hasPending,
+		next:         c.next,
+		loads:        append([]float64(nil), c.loads...),
+	}
+	hot, _ := base2.(interface{ HotBlocks(int) []int64 })
+	for v, st := range c.stacks {
+		f, err := st.Fork(ctx, nil)
+		if err != nil {
+			return nil, fmt.Errorf("array: forking volume %d: %w", v, err)
+		}
+		fg, ok := f.Generator().(*feedGen)
+		if !ok {
+			return nil, fmt.Errorf("array: forked volume %d generator is %T, want controller feed", v, f.Generator())
+		}
+		// Re-point the cloned feed's prewarm delegate at the forked base
+		// stream so the fork holds no reference into the original's.
+		fg.hot = hot
+		c2.stacks[v] = f
+		c2.feeds[v] = fg
+	}
+	for v, m := range c.counts {
+		m2 := make(map[int64]uint64, len(m))
+		for b, n := range m {
+			m2[b] = n
+		}
+		c2.counts[v] = m2
+	}
+	return c2, nil
+}
+
+// Finish runs the remaining interval rounds, streams and drains the
+// remainder past the last interval (it lands in no sample but still
+// executes, matching RunContext), and collects the merged results. The
+// per-volume results land in Results.PerVolume exactly as for Run; on
+// cancellation only whole volumes are kept.
+func (c *Controlled) Finish(ctx context.Context) (*Results, error) {
+	c.StepTo(ctx, c.intervals)
+	runErr := c.runErr
 	if runErr == nil {
-		// Stream remainder past the last interval (it lands in no sample
-		// but still executes, matching RunContext), then drain.
-		routeBefore(-1)
-		_, runErr = runner.Map(ctx, n, runner.Options{Workers: cfg.Workers},
+		c.routeBefore(-1)
+		_, runErr = runner.Map(ctx, len(c.stacks), runner.Options{Workers: c.cfg.Workers},
 			func(_ context.Context, v int) (struct{}, error) {
-				stacks[v].ResumeArrivals()
-				stacks[v].Drain()
+				c.stacks[v].ResumeArrivals()
+				c.stacks[v].Drain()
 				return struct{}{}, nil
 			})
 	} else {
 		// Cancelled: drain in-flight work only — the stacks' halted event
 		// chains stop on their own.
-		for _, st := range stacks {
+		for _, st := range c.stacks {
 			st.Drain()
 		}
 	}
 
-	per := make([]*engine.Results, n)
-	for v, st := range stacks {
+	per := make([]*engine.Results, len(c.stacks))
+	for v, st := range c.stacks {
 		res := st.Collect()
 		res.Volume = v
 		// Same partial rule as Run: a cancellation that still let the
 		// volume close every interval changed nothing; volumes stopped
 		// short are dropped.
-		if runErr != nil && len(res.Samples) < intervals {
+		if runErr != nil && len(res.Samples) < c.intervals {
 			continue
 		}
 		per[v] = res
 	}
-	return &Results{Volumes: n, Merged: Merge(per), PerVolume: per}, runErr
+	return &Results{Volumes: len(c.stacks), Merged: Merge(per), PerVolume: per}, runErr
+}
+
+// RunControlled executes an array-lb run start to finish — NewControlled
+// composed with Finish. See Controlled for the determinism contract.
+func RunControlled(ctx context.Context, cfg ControllerConfig, intervals int, monitorEvery time.Duration, base workload.Generator,
+	build func(vol int, gen workload.Generator) (*engine.Stack, error)) (*Results, error) {
+	c, err := NewControlled(ctx, cfg, intervals, monitorEvery, base, build)
+	if err != nil {
+		return nil, err
+	}
+	return c.Finish(ctx)
 }
 
 // migrateHot moves the bottleneck volume's hottest unpinned blocks to the

@@ -1,0 +1,154 @@
+package array
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"lbica/internal/engine"
+	"lbica/internal/sim"
+	"lbica/internal/workload"
+)
+
+// forkWorkloads are the base streams the fork contract is checked
+// against — distinct phase structures exercise different clone paths.
+var forkWorkloads = map[string]func(s workload.Scale, g *sim.RNG) *workload.PhaseGen{
+	"tpcc": workload.TPCC,
+	"mail": workload.MailServer,
+}
+
+func newTestControlled(t *testing.T, ctx context.Context, cfg ControllerConfig, seed int64, intervals int, wl string) *Controlled {
+	t.Helper()
+	base := forkWorkloads[wl](workload.Scale{Intervals: intervals}, sim.NewRNG(seed, "workload:"+wl))
+	c, err := NewControlled(ctx, cfg, intervals, engine.DefaultConfig().MonitorEvery,
+		base, controlledBuild(seed))
+	if err != nil {
+		t.Fatalf("NewControlled: %v", err)
+	}
+	return c
+}
+
+func scratchControlled(t *testing.T, ctx context.Context, cfg ControllerConfig, seed int64, intervals int, wl string) *Results {
+	t.Helper()
+	c := newTestControlled(t, ctx, cfg, seed, intervals, wl)
+	res, err := c.Finish(ctx)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return res
+}
+
+func mustFinish(t *testing.T, ctx context.Context, c *Controlled, label string) *Results {
+	t.Helper()
+	res, err := c.Finish(ctx)
+	if err != nil {
+		t.Fatalf("%s: Finish: %v", label, err)
+	}
+	return res
+}
+
+// The fork-identity contract extended to whole arrays: a Controlled
+// forked mid-run finishes byte-identical to a from-scratch run, across
+// array widths, routing variants and workloads — and finishing the fork
+// must not perturb the original, which still has to reproduce the
+// scratch bytes itself afterwards.
+func TestControlledForkEquivalence(t *testing.T) {
+	ctx := context.Background()
+	const seed, intervals = 7, 6
+	for wl := range forkWorkloads {
+		for _, volumes := range []int{2, 3} {
+			for _, variant := range []Variant{Weighted, PowerOfTwo} {
+				cfg := ControllerConfig{Volumes: volumes, Skew: 1.2, Seed: seed, Variant: variant, Workers: 1}
+				want := scratchControlled(t, ctx, cfg, seed, intervals, wl)
+
+				c := newTestControlled(t, ctx, cfg, seed, intervals, wl)
+				if err := c.StepTo(ctx, intervals/3); err != nil {
+					t.Fatalf("%s/%d/%v: StepTo: %v", wl, volumes, variant, err)
+				}
+				f, err := c.Fork(ctx)
+				if err != nil {
+					t.Fatalf("%s/%d/%v: Fork: %v", wl, volumes, variant, err)
+				}
+				if got := mustFinish(t, ctx, f, "fork"); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%d vols/%v: forked run differs from scratch", wl, volumes, variant)
+				}
+				if got := mustFinish(t, ctx, c, "original"); !reflect.DeepEqual(got, want) {
+					t.Errorf("%s/%d vols/%v: original perturbed by the fork", wl, volumes, variant)
+				}
+			}
+		}
+	}
+}
+
+// A fork of a fork carries the same identity guarantee — the clone paths
+// (router state, per-volume feeds, lookahead) must survive repeated
+// copying, not just one generation.
+func TestControlledForkOfFork(t *testing.T) {
+	ctx := context.Background()
+	const seed, intervals = 7, 6
+	cfg := ControllerConfig{Volumes: 3, Skew: 1.2, Seed: seed, Workers: 1}
+	want := scratchControlled(t, ctx, cfg, seed, intervals, "tpcc")
+
+	c := newTestControlled(t, ctx, cfg, seed, intervals, "tpcc")
+	if err := c.StepTo(ctx, 2); err != nil {
+		t.Fatalf("StepTo: %v", err)
+	}
+	f1, err := c.Fork(ctx)
+	if err != nil {
+		t.Fatalf("first fork: %v", err)
+	}
+	if err := f1.StepTo(ctx, 4); err != nil {
+		t.Fatalf("fork StepTo: %v", err)
+	}
+	f2, err := f1.Fork(ctx)
+	if err != nil {
+		t.Fatalf("second fork: %v", err)
+	}
+	if got := mustFinish(t, ctx, f2, "fork-of-fork"); !reflect.DeepEqual(got, want) {
+		t.Error("fork-of-fork differs from scratch")
+	}
+	if got := mustFinish(t, ctx, f1, "first fork"); !reflect.DeepEqual(got, want) {
+		t.Error("first fork perturbed by its own fork")
+	}
+}
+
+// Forking after hot-block migration has populated the routing pin table
+// must deep-copy the pins: the fork reproduces the scratch bytes, and
+// mutating the original's pins afterwards cannot leak into it.
+func TestControlledForkAfterMigrationPins(t *testing.T) {
+	ctx := context.Background()
+	const seed, intervals = 3, 8
+	cfg := ControllerConfig{Volumes: 3, Skew: 1.2, Seed: seed, Workers: 1}
+	want := scratchControlled(t, ctx, cfg, seed, intervals, "tpcc")
+
+	c := newTestControlled(t, ctx, cfg, seed, intervals, "tpcc")
+	forkAt := -1
+	var f *Controlled
+	for i := 1; i < intervals; i++ {
+		if err := c.StepTo(ctx, i); err != nil {
+			t.Fatalf("StepTo(%d): %v", i, err)
+		}
+		if len(c.rt.pins) > 0 {
+			forkAt = i
+			var err error
+			if f, err = c.Fork(ctx); err != nil {
+				t.Fatalf("Fork at interval %d: %v", i, err)
+			}
+			break
+		}
+	}
+	if f == nil {
+		t.Fatal("hot-shard run accumulated no migration pins before the last interval; fork never exercised the pin copy")
+	}
+	if got, want := len(f.rt.pins), len(c.rt.pins); got != want {
+		t.Fatalf("fork copied %d pins, original has %d", got, want)
+	}
+	// Poison the original's pin table: a shared map would now corrupt the
+	// fork's routing.
+	for b := range c.rt.pins {
+		c.rt.pins[b] = (c.rt.pins[b] + 1) % cfg.Volumes
+	}
+	if got := mustFinish(t, ctx, f, "fork"); !reflect.DeepEqual(got, want) {
+		t.Errorf("fork taken at interval %d with live pins differs from scratch", forkAt)
+	}
+}

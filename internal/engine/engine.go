@@ -553,6 +553,11 @@ func (st *Stack) HDDQueue() *ioqueue.Queue { return st.hddQ }
 // Monitor returns the iostat monitor.
 func (st *Stack) Monitor() *iostat.Monitor { return st.mon }
 
+// Generator returns the stack's workload generator — after a Fork, the
+// handle an array-level controller needs to re-own the cloned stack's
+// per-volume feed.
+func (st *Stack) Generator() workload.Generator { return st.gen }
+
 // SSDLatency returns the Eq. 1 SSD service-latency constant.
 func (st *Stack) SSDLatency() time.Duration { return st.ssdLatency }
 

@@ -304,23 +304,15 @@ func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	}
 
 	if spec.Scheme == SchemeArrayLB {
-		variant, _ := array.ParseVariant(spec.RouteVariant) // validated in Normalize
-		ccfg := array.ControllerConfig{
-			Volumes: spec.Volumes,
-			Skew:    spec.RouteSkew,
-			Seed:    spec.Seed,
-			Variant: variant,
-			Workers: spec.ShardWorkers,
-		}
 		// One base stream, routed by the controller itself; per-volume
 		// hardware still draws from its own volume seed.
-		ares, _ := array.RunControlled(ctx, ccfg, spec.Intervals, spec.Interval, NewGenerator(spec),
-			func(vol int, gen workload.Generator) (*engine.Stack, error) {
-				vcfg := cfg
-				vcfg.Seed = sim.Stream(spec.Seed, vol)
-				vcfg.Volume = vol
-				return engine.New(vcfg, gen, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds)), nil
-			})
+		c, err := newControlled(ctx, spec, cfg)
+		if err != nil {
+			// Cannot happen: the config was validated in Normalize and the
+			// build function never fails.
+			panic(fmt.Sprintf("experiments: %v", err))
+		}
+		ares, _ := c.Finish(ctx)
 		merged := ares.Merged
 		merged.Workload = spec.Workload
 		// The per-volume balancer names itself LBICA; the array-level
@@ -331,16 +323,7 @@ func RunContext(ctx context.Context, spec Spec) *engine.Results {
 
 	acfg := spec.arrayConfig()
 	ares, _ := array.Run(ctx, acfg, spec.Intervals, func(vol int) (*engine.Stack, error) {
-		vcfg := cfg
-		// Each volume is distinct hardware: its devices draw from their own
-		// (Stream(seed, vol), component) streams. The workload copy below
-		// deliberately does NOT use the volume seed — every volume must
-		// replay the bit-identical base stream for the routers to agree.
-		vcfg.Seed = sim.Stream(spec.Seed, vol)
-		vcfg.Volume = vol
-		gen := NewGenerator(spec)
-		vg := array.VolumeGen(gen, acfg.NewRouter(spec.Seed), vol)
-		return engine.New(vcfg, vg, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds)), nil
+		return spec.newVolumeStack(cfg, acfg, vol), nil
 	})
 	// The only possible error is a context cancellation (builds cannot
 	// fail, the config was validated in Normalize), and the contract here
@@ -349,6 +332,44 @@ func RunContext(ctx context.Context, spec Spec) *engine.Results {
 	merged := ares.Merged
 	merged.Workload = spec.Workload
 	return merged
+}
+
+// newVolumeStack builds volume vol's stack for the statically routed
+// multi-volume path — the single assembly both RunContext and the
+// warm-fork planner (RunWarmShared) use, so a warm-forked array is wired
+// byte-identically to a scratch one. Each volume is distinct hardware:
+// its devices draw from their own (Stream(seed, vol), component) streams.
+// The workload copy deliberately does NOT use the volume seed — every
+// volume must replay the bit-identical base stream for the routers to
+// agree.
+func (s Spec) newVolumeStack(cfg engine.Config, acfg array.Config, vol int) *engine.Stack {
+	vcfg := cfg
+	vcfg.Seed = sim.Stream(s.Seed, vol)
+	vcfg.Volume = vol
+	gen := NewGenerator(s)
+	vg := array.VolumeGen(gen, acfg.NewRouter(s.Seed), vol)
+	return engine.New(vcfg, vg, NewBalancerWithThresholds(s.Scheme, s.Thresholds))
+}
+
+// newControlled assembles the ARRAY-LB controlled array for a normalized
+// spec — shared by RunContext and the fork property tests, so a forked
+// controller faces exactly the volumes a scratch run builds.
+func newControlled(ctx context.Context, spec Spec, cfg engine.Config) (*array.Controlled, error) {
+	variant, _ := array.ParseVariant(spec.RouteVariant) // validated in Normalize
+	ccfg := array.ControllerConfig{
+		Volumes: spec.Volumes,
+		Skew:    spec.RouteSkew,
+		Seed:    spec.Seed,
+		Variant: variant,
+		Workers: spec.ShardWorkers,
+	}
+	return array.NewControlled(ctx, ccfg, spec.Intervals, spec.Interval, NewGenerator(spec),
+		func(vol int, gen workload.Generator) (*engine.Stack, error) {
+			vcfg := cfg
+			vcfg.Seed = sim.Stream(spec.Seed, vol)
+			vcfg.Volume = vol
+			return engine.New(vcfg, gen, NewBalancerWithThresholds(spec.Scheme, spec.Thresholds)), nil
+		})
 }
 
 // Matrix holds the 3×3 evaluation results indexed [workload][scheme].

@@ -66,6 +66,9 @@ func Suite(intervals int) []Bench {
 		{"array/volumes3-controller", func(b *testing.B) { BenchArray(b, intervals, experiments.SchemeArrayLB) }},
 		{"sweep/scratch", func(b *testing.B) { BenchSweep(b, intervals, false) }},
 		{"sweep/warm-fork", func(b *testing.B) { BenchSweep(b, intervals, true) }},
+		{"sweep/array-scratch", func(b *testing.B) { BenchSweepArray(b, intervals, false) }},
+		{"sweep/array-warm-fork", func(b *testing.B) { BenchSweepArray(b, intervals, true) }},
+		{"sweep/early-term", func(b *testing.B) { BenchSweepEarlyTerm(b, intervals) }},
 	}
 }
 
@@ -308,6 +311,75 @@ func BenchSweep(b *testing.B, intervals int, warmFork bool) {
 		}
 		if res.Completed != res.Total || res.Completed == 0 {
 			b.Fatalf("sweep completed %d of %d runs", res.Completed, res.Total)
+		}
+	}
+}
+
+// BenchSweepArray is BenchSweep's multi-volume counterpart: the same
+// three-scheme comparison grid on the pinned hot-shard regime (tpcc, 3
+// volumes, route skew 1.2). With warmFork the statically routed LBICA
+// array leads the shared warmup — all three volume stacks step to the
+// barrier and are forked together — while the adaptive ARRAY-LB member
+// runs scratch by design (its controller diverges from the static
+// prefix), so the scratch/warm-fork delta behind BENCH_sweep.json is the
+// array-fork win alone. At paper scale the WB member must actually fork;
+// a silent fallback to scratch would turn this benchmark into a no-op
+// comparison, so it fails instead.
+func BenchSweepArray(b *testing.B, intervals int, warmFork bool) {
+	iv := intervals
+	if iv == 0 {
+		iv = experiments.PaperIntervals(experiments.WorkloadTPCC)
+	}
+	g := sweep.Grid{
+		Workloads:  []string{experiments.WorkloadTPCC},
+		Schemes:    []string{experiments.SchemeWB, experiments.SchemeLBICA, experiments.SchemeArrayLB},
+		Volumes:    []int{3},
+		RouteSkews: []float64{1.2},
+		Seed:       1,
+		Intervals:  iv,
+	}
+	if warmFork {
+		g.WarmupIntervals = iv * 3 / 4
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Execute(context.Background(), g, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Total || res.Completed == 0 {
+			b.Fatalf("sweep completed %d of %d runs", res.Completed, res.Total)
+		}
+		if warmFork && intervals == 0 && (res.Warm == nil || res.Warm.Forked == 0) {
+			b.Fatalf("array warm plan forked nothing: %+v", res.Warm)
+		}
+	}
+}
+
+// BenchSweepEarlyTerm measures the adaptive scheduler: a four-replicate
+// tpcc × {wb, lbica} grid under a CI tolerance chosen so the coordinate
+// terminates after three replicates at paper scale — the measured time
+// includes the replicates early termination never launched, which is the
+// win. At paper scale the benchmark fails if termination does not
+// trigger (the measurement would silently degrade into a full sweep).
+func BenchSweepEarlyTerm(b *testing.B, intervals int) {
+	g := sweep.Grid{
+		Workloads:   []string{experiments.WorkloadTPCC},
+		Schemes:     []string{experiments.SchemeWB, experiments.SchemeLBICA},
+		Replicates:  4,
+		Seed:        1,
+		Intervals:   intervals,
+		CITolerance: 0.3,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := sweep.Execute(context.Background(), g, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed == 0 {
+			b.Fatal("sweep completed no runs")
+		}
+		if intervals == 0 && res.Completed >= res.Total {
+			b.Fatalf("early termination never triggered: %d of %d runs executed", res.Completed, res.Total)
 		}
 	}
 }

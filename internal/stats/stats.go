@@ -285,3 +285,39 @@ func (h *Histogram) String() string {
 	return fmt.Sprintf("hist(n=%d mean=%v p50=%v p99=%v max=%v)",
 		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
 }
+
+// tTable95 holds the two-sided 95% Student-t critical values for 1..30
+// degrees of freedom; past the table the normal-approximation 1.96 is
+// close enough (the n=31 value is 2.040).
+var tTable95 = [...]float64{
+	12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+	2.201, 2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+	2.080, 2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042,
+}
+
+// HalfWidth95 returns the half-width of the two-sided 95% Student-t
+// confidence interval for the mean of vals: t(n−1) · s/√n with s the
+// sample standard deviation. Fewer than two values carry no interval —
+// the half-width is +Inf, so a "tight enough?" comparison against any
+// finite tolerance is false.
+func HalfWidth95(vals []float64) float64 {
+	n := len(vals)
+	if n < 2 {
+		return math.Inf(1)
+	}
+	mean := 0.0
+	for _, v := range vals {
+		mean += v
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, v := range vals {
+		d := v - mean
+		ss += d * d
+	}
+	t := 1.96
+	if df := n - 1; df <= len(tTable95) {
+		t = tTable95[df-1]
+	}
+	return t * math.Sqrt(ss/float64(n-1)) / math.Sqrt(float64(n))
+}

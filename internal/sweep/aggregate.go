@@ -38,6 +38,16 @@ type Cell struct {
 	// faster). Zero when the sweep has no matching baseline cell.
 	SpeedupVsWB  float64 `json:"speedup_vs_wb"`
 	SpeedupVsSIB float64 `json:"speedup_vs_sib"`
+	// QCIHalfUS is the achieved 95% Student-t confidence half-width over
+	// the replicates' QMeanUS values — recorded only on early-termination
+	// sweeps (Grid.CITolerance > 0) with at least two completed
+	// replicates, zero otherwise, so tolerance-off output stays
+	// byte-identical to sweeps that predate the field.
+	QCIHalfUS float64 `json:"q_ci_half_us,omitempty"`
+	// EarlyTerminated marks a cell whose grid coordinate stopped
+	// launching further seed replicates once every scheme's confidence
+	// interval was tight (Replicates then records how many actually ran).
+	EarlyTerminated bool `json:"early_terminated,omitempty"`
 }
 
 type cellKey struct {

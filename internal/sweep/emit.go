@@ -297,6 +297,20 @@ func WriteReport(w io.Writer, res *Result) error {
 	if err := tw.Flush(); err != nil {
 		return err
 	}
+	// Early-termination summary, gated on the tolerance so tolerance-off
+	// reports keep their historical bytes.
+	if res.Grid.CITolerance > 0 {
+		term := 0
+		for _, c := range res.Cells {
+			if c.EarlyTerminated {
+				term++
+			}
+		}
+		if _, err := fmt.Fprintf(w, "\nearly termination: %d of %d cells stopped below %d replicates (ci tolerance %g)\n",
+			term, len(res.Cells), res.Grid.Replicates, res.Grid.CITolerance); err != nil {
+			return err
+		}
+	}
 	if res.Completed < res.Total {
 		if _, err := fmt.Fprintf(w, "\npartial report: %d of %d runs completed before interruption\n",
 			res.Completed, res.Total); err != nil {

@@ -23,7 +23,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"lbica/internal/array"
@@ -31,6 +33,7 @@ import (
 	"lbica/internal/experiments"
 	"lbica/internal/runner"
 	"lbica/internal/sim"
+	"lbica/internal/stats"
 )
 
 // Grid declares a sweep: the cross product of its axes. Empty axes fall
@@ -104,6 +107,23 @@ type Grid struct {
 	// strategy, not a grid axis, and the emitted sweep.json must stay
 	// byte-for-byte independent of it.
 	WarmupIntervals int `json:"-"`
+	// CITolerance, when > 0, turns on cross-cell early termination: the
+	// sweep stops launching further seed replicates for a grid coordinate
+	// once, for every scheme at that coordinate, the 95% Student-t
+	// confidence half-width over the completed replicates' headline
+	// metric (QMeanUS, the mean per-interval maximum cache queue time) is
+	// at most CITolerance × the metric's mean — a relative tolerance, so
+	// one value works across workloads with different queue-time scales.
+	// At least two replicates always run per coordinate. The decision is
+	// taken over the replicate prefix in expansion order, so it — and the
+	// emitted output — is byte-identical for every worker count; a
+	// terminated coordinate's chain simply returns its runner slot early,
+	// freeing it for unfinished coordinates. Terminated cells are marked
+	// (Cell.EarlyTerminated) with their achieved half-width
+	// (Cell.QCIHalfUS) and actual replicate count (Cell.Replicates).
+	// 0 (the default) runs every replicate; the off-mode output is
+	// byte-identical to sweeps that predate the knob.
+	CITolerance float64 `json:"ci_tolerance,omitempty"`
 }
 
 // Normalize fills defaulted axes in place and returns the result: empty
@@ -175,6 +195,11 @@ func (g Grid) Validate() error {
 	}
 	if g.WarmupIntervals < 0 {
 		return fmt.Errorf("sweep: negative warmup interval count %d (0 disables warm-fork sharing)", g.WarmupIntervals)
+	}
+	// Same shape as the cache-mult check below: a bare `< 0` would wave
+	// NaN through (every comparison false) into the termination decision.
+	if !(g.CITolerance >= 0) || math.IsInf(g.CITolerance, 0) {
+		return fmt.Errorf("sweep: invalid CI tolerance %v (want a finite value ≥ 0; 0 disables early termination)", g.CITolerance)
 	}
 	g = g.Normalize()
 	for _, wl := range g.Workloads {
@@ -462,6 +487,71 @@ type Result struct {
 	// instead of running (currently: non-zero route skews at volume count
 	// 1, canonicalized to the skew-0 cell).
 	Skipped []string `json:"skipped,omitempty"`
+	// Warm summarizes the warm-fork plan's outcomes (nil when
+	// WarmupIntervals is 0): how many runs led a shared warmup, forked
+	// one, or fell back to scratch — and why. Execution metadata, not
+	// sweep output: excluded from the JSON report so warm and scratch
+	// sweeps still emit byte-identical bytes.
+	Warm *WarmStats `json:"-"`
+}
+
+// WarmStats counts a warm-fork sweep's per-run plan outcomes, so a
+// regression to 0% sharing is visible instead of a silent slowdown.
+type WarmStats struct {
+	// Leaders ran the shared warmup prefix themselves; Forked reused a
+	// leader's prefix via a deep-copy fork; Scratch ran from scratch.
+	Leaders int
+	Forked  int
+	Scratch int
+	// Fallbacks keys scratch runs by reason (the experiments.WarmReason*
+	// constants: "no-leader", "sib", "balancer-acted", "multi-volume",
+	// "fork-error").
+	Fallbacks map[string]int
+}
+
+// observe folds one run's warm outcome into the counts.
+func (w *WarmStats) observe(o experiments.WarmOutcome) {
+	switch o.Kind {
+	case experiments.WarmLeader:
+		w.Leaders++
+	case experiments.WarmForked:
+		w.Forked++
+	case experiments.WarmScratch:
+		w.Scratch++
+		if w.Fallbacks == nil {
+			w.Fallbacks = make(map[string]int)
+		}
+		w.Fallbacks[o.Reason]++
+	}
+}
+
+// unitResult carries one scheduling unit's engine results (in unit-member
+// order) plus, on warm-fork sweeps, the per-member warm-plan outcomes.
+type unitResult struct {
+	res  []*engine.Results
+	warm []experiments.WarmOutcome
+}
+
+// runUnit executes one scheduling unit: a warm-fork group when
+// WarmupIntervals is set (sharing members reuse the leader's prefix,
+// outcomes recorded), plain sequential scratch runs otherwise.
+func runUnit(ctx context.Context, g Grid, pts []Point, idx []int) unitResult {
+	if g.WarmupIntervals > 0 {
+		specs := make([]experiments.Spec, len(idx))
+		for k, i := range idx {
+			specs[k] = pts[i].Spec
+		}
+		rs, warm := experiments.RunWarmShared(ctx, specs, g.WarmupIntervals)
+		return unitResult{res: rs, warm: warm}
+	}
+	rs := make([]*engine.Results, len(idx))
+	for k, i := range idx {
+		if ctx.Err() != nil {
+			break
+		}
+		rs[k] = experiments.RunContext(ctx, pts[i].Spec)
+	}
+	return unitResult{res: rs}
 }
 
 // Execute expands the grid and fans the runs out across the bounded
@@ -480,6 +570,9 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	}
 	g = g.Normalize()
 	pts := g.Expand()
+	if g.CITolerance > 0 {
+		return executeAdaptive(ctx, g, pts, opt)
+	}
 	// The unit is the scheduling granule: one point per unit in the
 	// default from-scratch mode, one warm-fork group per unit when
 	// WarmupIntervals is set (the group's members share a simulated
@@ -499,24 +592,16 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	// run returns its partial engine results but a non-nil ctx error keeps
 	// the slot empty — partial reports contain only whole runs.
 	unitRes, err := runner.Map(ctx, len(units), ro,
-		func(ctx context.Context, u int) ([]*engine.Results, error) {
-			idx := units[u]
-			if len(idx) == 1 {
-				return []*engine.Results{experiments.RunContext(ctx, pts[idx[0]].Spec)}, ctx.Err()
-			}
-			specs := make([]experiments.Spec, len(idx))
-			for k, i := range idx {
-				specs[k] = pts[i].Spec
-			}
-			return experiments.RunWarmShared(ctx, specs, g.WarmupIntervals), ctx.Err()
+		func(ctx context.Context, u int) (unitResult, error) {
+			return runUnit(ctx, g, pts, units[u]), ctx.Err()
 		})
 	cells := make([]*engine.Results, len(pts))
-	for u, rs := range unitRes {
-		if rs == nil {
+	for u, ur := range unitRes {
+		if ur.res == nil {
 			continue
 		}
 		for k, i := range units[u] {
-			cells[i] = rs[k]
+			cells[i] = ur.res[k]
 		}
 	}
 	res := &Result{Grid: g, Total: len(pts), Skipped: g.SkippedCombos()}
@@ -528,6 +613,13 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	}
 	res.Completed = len(res.Runs)
 	res.Cells = Aggregate(res.Runs)
+	res.Warm = warmStats(g, func(yield func(experiments.WarmOutcome)) {
+		for _, ur := range unitRes {
+			for _, o := range ur.warm {
+				yield(o)
+			}
+		}
+	})
 	if opt.SeriesDir != "" {
 		// After the fan-out, in expansion order: the exported bytes depend
 		// only on each run's own results, never on completion order, which
@@ -538,13 +630,206 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	return res, err
 }
 
+// warmStats folds every recorded warm outcome into a WarmStats summary
+// (nil when warm-fork sharing is off).
+func warmStats(g Grid, each func(yield func(experiments.WarmOutcome))) *WarmStats {
+	if g.WarmupIntervals <= 0 {
+		return nil
+	}
+	ws := &WarmStats{}
+	each(ws.observe)
+	return ws
+}
+
+// minCIReplicates is the floor below which early termination never
+// triggers: a confidence interval needs at least two observations.
+const minCIReplicates = 2
+
+// allTight reports whether every scheme's 95% confidence half-width over
+// its completed replicates' QMeanUS values is within tol × the absolute
+// mean. The comparison is false for n < 2 (half-width +Inf), so a
+// one-replicate prefix never terminates.
+func allTight(vals [][]float64, tol float64) bool {
+	for _, v := range vals {
+		mean := 0.0
+		for _, x := range v {
+			mean += x
+		}
+		mean /= float64(len(v))
+		if !(stats.HalfWidth95(v) <= tol*math.Abs(mean)) {
+			return false
+		}
+	}
+	return true
+}
+
+// coordID identifies a grid coordinate — every axis except scheme and
+// replicate, the two a termination decision spans.
+type coordID struct {
+	workload   string
+	cacheMult  float64
+	rateFactor float64
+	burstMult  float64
+	volumes    int
+	routeSkew  float64
+}
+
+func pointCoord(p Point) coordID {
+	return coordID{p.Workload, p.CacheMult, p.RateFactor, p.BurstMult, p.Volumes, p.RouteSkew}
+}
+
+// planChains partitions the expanded points into coordinate chains:
+// maximal runs of consecutive points sharing a grid coordinate. Expand
+// keeps replicate and scheme the two innermost loops, so each chain is
+// one coordinate's full Replicates × Schemes block, in (replicate,
+// scheme) order — the unit the adaptive scheduler walks replicate group
+// by replicate group.
+func planChains(pts []Point) [][]int {
+	chains := make([][]int, 0)
+	for i := 0; i < len(pts); {
+		j := i + 1
+		for j < len(pts) && pointCoord(pts[j]) == pointCoord(pts[i]) {
+			j++
+		}
+		u := make([]int, 0, j-i)
+		for k := i; k < j; k++ {
+			u = append(u, k)
+		}
+		chains = append(chains, u)
+		i = j
+	}
+	return chains
+}
+
+// chainResult is one coordinate chain's outcome under the adaptive
+// scheduler: per-point engine results (nil for replicates never
+// launched), warm outcomes for the replicate groups that ran, and
+// whether the chain stopped early.
+type chainResult struct {
+	res     []*engine.Results
+	warm    []experiments.WarmOutcome
+	stopped bool
+}
+
+// executeAdaptive is the early-termination execution path (CITolerance >
+// 0): one runner job per coordinate chain, each walking its replicate
+// groups in expansion order and stopping — freeing the slot for
+// unfinished chains — once every scheme's confidence interval is tight.
+// The termination decision reads only the chain's own replicate prefix,
+// in expansion order, so the output stays byte-identical for every
+// worker count; it does NOT match the CITolerance == 0 output whenever
+// any chain actually terminates (that is the point), but with no
+// termination triggered the runs, cells, and report bytes are identical
+// apart from the per-cell CI annotations.
+func executeAdaptive(ctx context.Context, g Grid, pts []Point, opt Options) (*Result, error) {
+	chains := planChains(pts)
+	nS := len(g.Schemes)
+	var mu sync.Mutex
+	donePts := 0
+	progress := func(n int) {
+		if opt.OnDone == nil {
+			return
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		donePts += n
+		opt.OnDone(donePts, len(pts))
+	}
+	chainRes, err := runner.Map(ctx, len(chains), runner.Options{Workers: opt.Workers},
+		func(ctx context.Context, c int) (chainResult, error) {
+			idx := chains[c]
+			reps := len(idx) / nS
+			out := chainResult{res: make([]*engine.Results, len(idx))}
+			vals := make([][]float64, nS)
+			for rep := 0; rep < reps; rep++ {
+				group := idx[rep*nS : (rep+1)*nS]
+				ur := runUnit(ctx, g, pts, group)
+				if err := ctx.Err(); err != nil {
+					// The interrupted replicate group — and, because a job
+					// error drops the whole slot, the chain — is discarded:
+					// partial reports contain only whole runs.
+					return out, err
+				}
+				copy(out.res[rep*nS:], ur.res)
+				out.warm = append(out.warm, ur.warm...)
+				for s := 0; s < nS; s++ {
+					vals[s] = append(vals[s], ur.res[s].CacheLoadMean()/1e3)
+				}
+				progress(len(group))
+				if rep+1 < reps && rep+1 >= minCIReplicates && allTight(vals, g.CITolerance) {
+					out.stopped = true
+					break
+				}
+			}
+			return out, nil
+		})
+	cells := make([]*engine.Results, len(pts))
+	stopped := make(map[coordID]bool)
+	for c, cr := range chainRes {
+		if cr.res == nil {
+			continue
+		}
+		for k, i := range chains[c] {
+			cells[i] = cr.res[k]
+		}
+		if cr.stopped {
+			stopped[pointCoord(pts[chains[c][0]])] = true
+		}
+	}
+	res := &Result{Grid: g, Total: len(pts), Skipped: g.SkippedCombos()}
+	for i, er := range cells {
+		if er == nil {
+			continue
+		}
+		res.Runs = append(res.Runs, newRun(pts[i], er))
+	}
+	res.Completed = len(res.Runs)
+	res.Cells = Aggregate(res.Runs)
+	res.annotateCI(stopped)
+	res.Warm = warmStats(g, func(yield func(experiments.WarmOutcome)) {
+		for _, cr := range chainRes {
+			for _, o := range cr.warm {
+				yield(o)
+			}
+		}
+	})
+	if opt.SeriesDir != "" {
+		err = errors.Join(err, ExportSeries(opt.SeriesDir, pts, cells))
+	}
+	return res, err
+}
+
+// annotateCI stamps every cell with its achieved confidence half-width
+// and whether its coordinate terminated early — only called on the
+// adaptive path, so tolerance-off sweeps never populate the fields.
+func (r *Result) annotateCI(stopped map[coordID]bool) {
+	for ci := range r.Cells {
+		c := &r.Cells[ci]
+		c.EarlyTerminated = stopped[coordID{c.Workload, c.CacheMult, c.RateFactor, c.BurstMult, c.Volumes, c.RouteSkew}]
+		var vals []float64
+		for _, run := range r.Runs {
+			if run.Workload == c.Workload && run.Scheme == c.Scheme && run.CacheMult == c.CacheMult &&
+				run.RateFactor == c.RateFactor && run.BurstMult == c.BurstMult && run.Volumes == c.Volumes &&
+				run.RouteSkew == c.RouteSkew {
+				vals = append(vals, run.QMeanUS)
+			}
+		}
+		// Fewer than two replicates carry no interval; zero (not the
+		// mathematical +Inf) keeps the field JSON-encodable.
+		if len(vals) >= minCIReplicates {
+			c.QCIHalfUS = stats.HalfWidth95(vals)
+		}
+	}
+}
+
 // warmKey strips the fields that distinguish the schemes of one
 // controlled comparison: everything left — workload, seed, intervals,
 // rate, cache and burst multipliers, volume count, route skew — shapes
 // the shared warmup prefix, so two specs with equal keys are the same
 // simulation until a balancer first acts. RouteVariant is stripped too:
-// it is set only on ARRAY-LB cells, and warm-fork groups only ever form
-// at one volume, where the variant is inert.
+// it is set only on ARRAY-LB cells — inert at one volume, and at more
+// the ARRAY-LB member runs scratch anyway (its controller diverges from
+// the group's statically routed prefix at the first barrier).
 func warmKey(s experiments.Spec) experiments.Spec {
 	s.Scheme = ""
 	s.RouteVariant = ""

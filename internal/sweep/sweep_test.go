@@ -163,6 +163,13 @@ func TestValidateRejectsBadAxes(t *testing.T) {
 		{Replicates: -1},
 		{Intervals: -5},
 		{Interval: -time.Second},
+		{WarmupIntervals: -1},
+		// The early-termination tolerance is relative: negative and
+		// non-finite values would either never or always terminate, so
+		// they are hard errors, not clamps.
+		{CITolerance: -0.1},
+		{CITolerance: math.NaN()},
+		{CITolerance: math.Inf(1)},
 	} {
 		if err := g.Validate(); err == nil {
 			t.Errorf("grid %+v passed validation", g)

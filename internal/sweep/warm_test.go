@@ -10,14 +10,17 @@ import (
 
 // warmGrid is the warm-fork identity grid: all four schemes (so one
 // comparison holds a forkable leader, a guarded WB sibling, a
-// never-sharing SIB, and the ARRAY-LB relabel), both a shareable width-1
-// entry and a fall-back width-2 entry, and a burst-heavy workload whose
-// balancer acts after the barrier.
+// never-sharing SIB, and at width 1 the ARRAY-LB relabel), a shareable
+// width-1 entry plus width-3 array entries at both uniform and skewed
+// routing (the multi-volume array-fork plan, with ARRAY-LB falling back
+// to scratch), and a burst-heavy workload whose balancer acts after the
+// barrier.
 func warmGrid(warmup int) Grid {
 	return Grid{
 		Workloads:       []string{"mail"},
 		Schemes:         []string{"WB", "SIB", "LBICA", "ARRAY-LB"},
-		Volumes:         []int{1, 2},
+		Volumes:         []int{1, 3},
+		RouteSkews:      []float64{0, 1.2},
 		Replicates:      1,
 		Seed:            11,
 		Intervals:       40,
@@ -39,6 +42,9 @@ func TestWarmForkSweepByteIdentical(t *testing.T) {
 	}
 	if scratch.Completed != scratch.Total || scratch.Completed == 0 {
 		t.Fatalf("scratch sweep completed %d of %d", scratch.Completed, scratch.Total)
+	}
+	if scratch.Warm != nil {
+		t.Fatalf("warmup-off sweep reported warm stats: %+v", scratch.Warm)
 	}
 
 	for _, tc := range []struct {
@@ -64,6 +70,23 @@ func TestWarmForkSweepByteIdentical(t *testing.T) {
 			}
 			if !reflect.DeepEqual(warm.Cells, scratch.Cells) {
 				t.Errorf("aggregated cells diverge between warm-fork and scratch sweeps")
+			}
+
+			// The warm plan's outcome counts must reconcile with the grid:
+			// every run is accounted for, the multi-volume comparisons fork
+			// (the tentpole), and the known non-sharers surface by reason.
+			if warm.Warm == nil {
+				t.Fatal("warm sweep reported no warm stats")
+			}
+			ws := warm.Warm
+			if ws.Leaders+ws.Forked+ws.Scratch != warm.Completed {
+				t.Errorf("warm stats cover %d runs, want %d", ws.Leaders+ws.Forked+ws.Scratch, warm.Completed)
+			}
+			if ws.Leaders == 0 || ws.Forked == 0 {
+				t.Errorf("warm plan shared nothing: %+v", ws)
+			}
+			if ws.Fallbacks["sib"] == 0 || ws.Fallbacks["multi-volume"] == 0 {
+				t.Errorf("expected sib and multi-volume fallbacks, got %v", ws.Fallbacks)
 			}
 
 			var wb, sb bytes.Buffer

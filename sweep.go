@@ -57,13 +57,26 @@ type GridSpec struct {
 	// paper's defaults).
 	Intervals      int
 	IntervalLength time.Duration
-	// WarmupIntervals, when positive, lets schemes that differ only by
+	// WarmupIntervals, when positive, lets cells that differ only by
 	// scheme share one simulated warmup prefix of that many intervals:
-	// the prefix is simulated once and every sibling scheme's run is
+	// the prefix is simulated once — for multi-volume cells, across the
+	// whole statically routed array — and every sibling scheme's run is
 	// forked from the warm state (falling back to a scratch run whenever
 	// sharing would change the output). Results stay byte-identical to a
-	// WarmupIntervals == 0 sweep; only wall-clock time changes.
+	// WarmupIntervals == 0 sweep; only wall-clock time changes. The plan's
+	// outcomes land in SweepResult.Warm. Negative values are an error.
 	WarmupIntervals int
+	// CITolerance, when positive, turns on cross-cell early termination:
+	// a grid coordinate stops launching further seed replicates once, for
+	// every scheme at that coordinate, the 95% confidence half-width over
+	// the completed replicates' QMeanUS is at most CITolerance × the
+	// metric's mean (relative tolerance; at least two replicates always
+	// run), and the freed worker slot goes to unfinished coordinates.
+	// Terminated cells are marked (SweepCell.EarlyTerminated) with their
+	// achieved half-width and actual replicate count. 0 (the default)
+	// runs every replicate and emits byte-identical output to earlier
+	// versions; negative or non-finite values are an error.
+	CITolerance float64
 }
 
 // SweepOptions tunes sweep execution.
@@ -125,6 +138,13 @@ type SweepCell struct {
 	PolicyFlipsMean float64
 	SpeedupVsWB     float64
 	SpeedupVsSIB    float64
+	// QCIHalfUS is the achieved 95% confidence half-width over the
+	// replicates' QMeanUS and EarlyTerminated marks a coordinate that
+	// stopped below the requested replicate count — both populated only
+	// on early-termination sweeps (GridSpec.CITolerance > 0) with at
+	// least two completed replicates.
+	QCIHalfUS       float64
+	EarlyTerminated bool
 }
 
 // SweepResult is a finished (or interrupted) sweep: every completed run in
@@ -139,8 +159,28 @@ type SweepResult struct {
 	// Skipped lists grid combinations the expansion canonicalized away
 	// (one entry per inert width-1 × non-zero-skew pair), for the log.
 	Skipped []string
+	// Warm summarizes the warm-fork plan's outcomes (nil unless
+	// GridSpec.WarmupIntervals > 0): how many runs led a shared warmup,
+	// forked one, or fell back to scratch — keyed by reason — so a
+	// regression to 0% sharing is visible instead of a silent slowdown.
+	Warm *SweepWarmStats
 
 	res *sweep.Result
+}
+
+// SweepWarmStats counts a warm-fork sweep's per-run plan outcomes.
+type SweepWarmStats struct {
+	// Leaders ran the shared warmup prefix themselves; Forked reused a
+	// leader's prefix via a deep-copy state fork; Scratch ran from
+	// scratch.
+	Leaders int
+	Forked  int
+	Scratch int
+	// Fallbacks keys scratch runs by reason: "no-leader" (nothing to
+	// share), "sib", "balancer-acted", "multi-volume" (an array-lb cell
+	// whose adaptive controller diverges from the static prefix), or
+	// "fork-error".
+	Fallbacks map[string]int
 }
 
 // Sweep expands the grid and executes it across the bounded worker pool.
@@ -168,6 +208,7 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 		Intervals:       g.Intervals,
 		Interval:        g.IntervalLength,
 		WarmupIntervals: g.WarmupIntervals,
+		CITolerance:     g.CITolerance,
 	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress, SeriesDir: opt.SeriesDir})
 	if res == nil {
 		return nil, err
@@ -179,6 +220,14 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 		Completed: res.Completed,
 		Skipped:   res.Skipped,
 		res:       res,
+	}
+	if res.Warm != nil {
+		out.Warm = &SweepWarmStats{
+			Leaders:   res.Warm.Leaders,
+			Forked:    res.Warm.Forked,
+			Scratch:   res.Warm.Scratch,
+			Fallbacks: res.Warm.Fallbacks,
+		}
 	}
 	for i, r := range res.Runs {
 		out.Runs[i] = SweepRun(r)

@@ -114,4 +114,56 @@ func TestSweepRejectsBadGrid(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "unknown workload") {
 		t.Errorf("got %v, want unknown-workload error", err)
 	}
+	_, err = lbica.Sweep(t.Context(), lbica.GridSpec{CITolerance: -1}, lbica.SweepOptions{})
+	if err == nil || !strings.Contains(err.Error(), "tolerance") {
+		t.Errorf("got %v, want ci-tolerance error", err)
+	}
+}
+
+// TestSweepCITolerance: the early-termination knob reaches the scheduler
+// through the facade, and terminated cells surface their replicate count
+// and achieved half-width.
+func TestSweepCITolerance(t *testing.T) {
+	g := quickGrid()
+	g.SeedReplicates = 4
+	g.CITolerance = 1e3 // loose: terminate at the two-replicate floor
+	res, err := lbica.Sweep(t.Context(), g, lbica.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm != nil {
+		t.Errorf("warmup-off sweep reported warm stats: %+v", res.Warm)
+	}
+	if res.Completed >= res.Total {
+		t.Fatalf("loose tolerance never terminated: %d of %d", res.Completed, res.Total)
+	}
+	for _, c := range res.Cells {
+		if !c.EarlyTerminated || c.Replicates != 2 || c.QCIHalfUS <= 0 {
+			t.Errorf("cell %s/%s@%g not annotated as terminated: %+v", c.Workload, c.Scheme, c.CacheMult, c)
+		}
+	}
+}
+
+// TestSweepWarmStats: a warm-fork sweep surfaces its plan outcomes on the
+// facade result.
+func TestSweepWarmStats(t *testing.T) {
+	g := quickGrid()
+	g.SeedReplicates = 1
+	g.WarmupIntervals = 2
+	res, err := lbica.Sweep(t.Context(), g, lbica.SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Warm == nil {
+		t.Fatal("warm sweep reported no warm stats")
+	}
+	if res.Warm.Leaders == 0 {
+		t.Errorf("no leaders in warm plan: %+v", res.Warm)
+	}
+	if got := res.Warm.Leaders + res.Warm.Forked + res.Warm.Scratch; got != res.Completed {
+		t.Errorf("warm stats cover %d runs, want %d", got, res.Completed)
+	}
+	if res.Warm.Fallbacks["sib"] == 0 {
+		t.Errorf("sib fallback missing: %v", res.Warm.Fallbacks)
+	}
 }
