@@ -1,0 +1,119 @@
+package lbica_test
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"lbica"
+)
+
+// ckptOpts is a small single-stack run the checkpoint tests share.
+func ckptOpts(scheme string) lbica.Options {
+	return lbica.Options{Workload: "tpcc", Scheme: scheme, Seed: 3, Intervals: 12}
+}
+
+// The public contract: a run that pauses to save a checkpoint, and a run
+// resumed from that checkpoint, both report byte-identically to the
+// uninterrupted RunContext call — for every scheme kind (no balancer,
+// periodic-scan SIB, adaptive LBICA).
+func TestRunCheckpointRestoreByteIdentical(t *testing.T) {
+	for _, scheme := range []string{"wb", "sib", "lbica"} {
+		scheme := scheme
+		t.Run(scheme, func(t *testing.T) {
+			t.Parallel()
+			o := ckptOpts(scheme)
+			baseline, err := lbica.Run(o)
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join(t.TempDir(), "warm.ckpt")
+			saved, err := lbica.RunCheckpoint(context.Background(), o, path, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseline, saved) {
+				t.Error("checkpointing run diverged from the uninterrupted run")
+			}
+			if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+				t.Fatalf("checkpoint file not written: %v", err)
+			}
+			restored, err := lbica.RunRestore(context.Background(), o, path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(baseline, restored) {
+				t.Error("restored run diverged from the uninterrupted run")
+			}
+		})
+	}
+}
+
+// A checkpoint is a hard contract when named explicitly: options that
+// describe a different run, and a corrupted file, are errors — never a
+// silent divergent resume.
+func TestRunRestoreRejectsMismatchAndCorruption(t *testing.T) {
+	o := ckptOpts("lbica")
+	path := filepath.Join(t.TempDir(), "warm.ckpt")
+	if _, err := lbica.RunCheckpoint(context.Background(), o, path, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	other := o
+	other.Seed = 99
+	if _, err := lbica.RunRestore(context.Background(), other, path); err == nil {
+		t.Error("restore with a different seed did not error")
+	}
+	wl := o
+	wl.Workload = "mail"
+	if _, err := lbica.RunRestore(context.Background(), wl, path); err == nil {
+		t.Error("restore with a different workload did not error")
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := lbica.RunRestore(context.Background(), o, path); err == nil {
+		t.Error("bit-flipped checkpoint did not error")
+	}
+	if _, err := lbica.RunRestore(context.Background(), o, path+".missing"); err == nil {
+		t.Error("missing checkpoint file did not error")
+	}
+}
+
+func TestRunCheckpointValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warm.ckpt")
+	cases := []struct {
+		name   string
+		o      lbica.Options
+		saveAt int
+	}{
+		{"negative saveAt", ckptOpts("lbica"), -1},
+		{"saveAt at run end", ckptOpts("lbica"), 12},
+		{"saveAt past run end", ckptOpts("lbica"), 99},
+		{"multi-volume", lbica.Options{Workload: "tpcc", Volumes: 3, Intervals: 12}, 4},
+	}
+	for _, tc := range cases {
+		if _, err := lbica.RunCheckpoint(context.Background(), tc.o, path, tc.saveAt); err == nil {
+			t.Errorf("%s: no error", tc.name)
+		}
+	}
+	if _, err := lbica.RunRestore(context.Background(), lbica.Options{Workload: "tpcc", Volumes: 3}, path); err == nil {
+		t.Error("multi-volume restore: no error")
+	}
+	// saveAt 0 defaults to half the run and must succeed.
+	o := ckptOpts("wb")
+	if _, err := lbica.RunCheckpoint(context.Background(), o, path, 0); err != nil {
+		t.Errorf("saveAt 0 (half the run): %v", err)
+	}
+	if _, err := lbica.RunRestore(context.Background(), o, path); err != nil {
+		t.Errorf("restore of defaulted-barrier checkpoint: %v", err)
+	}
+}

@@ -9,6 +9,8 @@
 //	lbicasim -workload web -scheme sib -trace run.trc
 //	lbicasim -workload tpcc -volumes 4 -route-skew 1.2   # sharded array
 //	lbicasim -workload tpcc -scheme array-lb -volumes 3 -route-skew 1.2
+//	lbicasim -workload tpcc -checkpoint warm.ckpt -checkpoint-at 100
+//	lbicasim -workload tpcc -restore warm.ckpt           # same output, resumed
 package main
 
 import (
@@ -48,12 +50,21 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		routeVariant = fs.String("route-variant", "", "array-lb controller routing mechanism: weighted|p2c (needs -scheme array-lb)")
 		shardWorkers = fs.Int("shard-workers", 0, "array shard pool size (0 = GOMAXPROCS, 1 = serial)")
 		cold         = fs.Bool("cold", false, "start with a cold cache (skip prewarm)")
+		ckptPath     = fs.String("checkpoint", "", "save the warmed simulation state to this file mid-run, then finish (resume with -restore)")
+		ckptAt       = fs.Int("checkpoint-at", 0, "interval barrier -checkpoint saves at (0 = half the run)")
+		restorePath  = fs.String("restore", "", "resume a run saved with -checkpoint (all other flags must describe the same run)")
 		configPath   = fs.String("config", "", "load run options from a JSON file (flags override nothing; the file wins)")
 		cpuProfile   = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile   = fs.String("memprofile", "", "write a heap profile (post-run) to this file")
 	)
 	if err := cli.Parse(fs, args); err != nil {
 		return err
+	}
+	if *ckptPath != "" && *restorePath != "" {
+		return errors.New("lbicasim: -checkpoint and -restore are mutually exclusive (save a run, then resume it in a later invocation)")
+	}
+	if *ckptAt != 0 && *ckptPath == "" {
+		return errors.New("lbicasim: -checkpoint-at needs -checkpoint")
 	}
 	stopProfiles, err := cli.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -131,7 +142,16 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 	// A cancelled run still yields the partial report accumulated up to
 	// the cancellation — render it before surfacing the error. A report
 	// with no intervals carries no data worth presenting as "partial".
-	report, runErr := lbica.RunContext(ctx, opts)
+	var report *lbica.Report
+	var runErr error
+	switch {
+	case *ckptPath != "":
+		report, runErr = lbica.RunCheckpoint(ctx, opts, *ckptPath, *ckptAt)
+	case *restorePath != "":
+		report, runErr = lbica.RunRestore(ctx, opts, *restorePath)
+	default:
+		report, runErr = lbica.RunContext(ctx, opts)
+	}
 	if runErr != nil && (report == nil || len(report.Intervals) == 0) {
 		return runErr
 	}

@@ -127,6 +127,53 @@ func TestRunRejectsBadProfilePath(t *testing.T) {
 	}
 }
 
+// -checkpoint saves mid-run state; -restore resumes it with output
+// byte-identical to the uninterrupted run.
+func TestRunCheckpointRestore(t *testing.T) {
+	ckpt := filepath.Join(t.TempDir(), "warm.ckpt")
+	base := []string{"-workload", "tpcc", "-scheme", "lbica", "-intervals", "6", "-cold"}
+	var plain, saved, restored, errBuf strings.Builder
+	if err := run(t.Context(), base, &plain, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(t.Context(), append(base, "-checkpoint", ckpt, "-checkpoint-at", "2"), &saved, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if saved.String() != plain.String() {
+		t.Error("checkpointing run's output diverged from the plain run's")
+	}
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint file not written: %v", err)
+	}
+	if err := run(t.Context(), append(base, "-restore", ckpt), &restored, &errBuf); err != nil {
+		t.Fatal(err)
+	}
+	if restored.String() != plain.String() {
+		t.Error("restored run's output diverged from the plain run's")
+	}
+
+	// Restoring under different run flags is a hard error, not a
+	// divergent resume.
+	var o, e strings.Builder
+	if err := run(t.Context(), []string{"-workload", "mail", "-intervals", "6", "-cold", "-restore", ckpt}, &o, &e); err == nil {
+		t.Error("restore under a different workload accepted")
+	}
+}
+
+func TestRunCheckpointFlagValidation(t *testing.T) {
+	var o, e strings.Builder
+	if err := run(t.Context(), []string{"-checkpoint", "a", "-restore", "b", "-intervals", "2"}, &o, &e); err == nil {
+		t.Error("-checkpoint with -restore accepted")
+	}
+	if err := run(t.Context(), []string{"-checkpoint-at", "3", "-intervals", "2"}, &o, &e); err == nil {
+		t.Error("-checkpoint-at without -checkpoint accepted")
+	}
+	if err := run(t.Context(), []string{"-checkpoint", filepath.Join(t.TempDir(), "x.ckpt"),
+		"-checkpoint-at", "9", "-intervals", "2", "-cold"}, &o, &e); err == nil {
+		t.Error("-checkpoint-at past the run end accepted")
+	}
+}
+
 // -volumes shards the run and reports the per-volume breakdown.
 func TestRunArrayVolumes(t *testing.T) {
 	var out, errBuf strings.Builder

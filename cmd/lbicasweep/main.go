@@ -41,6 +41,16 @@
 //
 //	lbicasweep -warmup 50
 //
+// -warm-cache persists those shared warmup prefixes across invocations:
+// each prefix is looked up in the content-addressed checkpoint store at
+// DIR before being simulated and written through after, so re-running a
+// sweep — narrowing axes, adding seeds, recovering from an interrupt —
+// skips the warmup simulation entirely on the second pass. Output bytes
+// stay identical; corrupt or stale cache entries fall back to simulation
+// and are overwritten. Requires -warmup:
+//
+//	lbicasweep -warmup 50 -warm-cache ~/.cache/lbica-warm
+//
 // -ci-tol turns on cross-cell early termination: a grid coordinate stops
 // launching further seed replicates once every scheme's 95% confidence
 // half-width over the q-mean metric is within this fraction of its mean
@@ -96,6 +106,7 @@ import (
 	"time"
 
 	"lbica"
+	"lbica/internal/checkpoint"
 	"lbica/internal/cli"
 	"lbica/internal/experiments"
 )
@@ -174,6 +185,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		intervals    = fs.Int("intervals", 0, "monitor intervals per run (0 = paper default per workload)")
 		interval     = fs.Duration("interval", 200*time.Millisecond, "monitor interval length (virtual time)")
 		warmup       = fs.Int("warmup", 0, "shared-warmup intervals: schemes at the same grid coordinate share one simulated warmup prefix of this length via state forking (0 = off; output bytes are identical either way)")
+		warmCache    = fs.String("warm-cache", "", "persist shared warmup prefixes in the checkpoint store at this directory (created if absent) and restore them on later invocations; requires -warmup, output bytes are identical either way")
 		ciTol        = fs.Float64("ci-tol", 0, "relative confidence tolerance for early termination: stop a coordinate's seed replicates once every scheme's 95% CI half-width over the q-mean metric is within this fraction of its mean (0 = off, run every replicate; needs -seeds > 2 to save anything)")
 		workers      = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial)")
 		format       = fs.String("format", "text", "stdout format: text|csv|json")
@@ -226,6 +238,20 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		fmt.Fprintln(stderr, "lbicasweep: -route-skew:", err)
 		return cli.ErrUsage
 	}
+	if *warmCache != "" {
+		// Eager validation, before any simulation: a cache directory that
+		// is missing gets created now, and one that can never work (a
+		// regular file in the way, an unwritable parent) fails the
+		// invocation at flag-parse time instead of mid-sweep.
+		if *warmup <= 0 {
+			fmt.Fprintln(stderr, "lbicasweep: -warm-cache requires -warmup > 0 (the cache stores shared warmup prefixes)")
+			return cli.ErrUsage
+		}
+		if _, err := checkpoint.Open(*warmCache); err != nil {
+			fmt.Fprintln(stderr, "lbicasweep: -warm-cache:", err)
+			return cli.ErrUsage
+		}
+	}
 
 	grid := lbica.GridSpec{
 		Workloads:       splitList(workloads),
@@ -241,6 +267,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		Intervals:       *intervals,
 		IntervalLength:  *interval,
 		WarmupIntervals: *warmup,
+		WarmCacheDir:    *warmCache,
 		CITolerance:     *ciTol,
 	}
 	opt := lbica.SweepOptions{Workers: *workers, SeriesDir: *seriesDir}
@@ -272,8 +299,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) error {
 		// every cell silently falling back to scratch) only shows up as an
 		// unexplained slowdown.
 		if res.Warm != nil {
-			fmt.Fprintf(stderr, "lbicasweep: warm plan: %d leader, %d forked, %d scratch%s\n",
-				res.Warm.Leaders, res.Warm.Forked, res.Warm.Scratch, fallbackSummary(res.Warm.Fallbacks))
+			fmt.Fprintf(stderr, "lbicasweep: warm plan: %d leader, %d forked, %d scratch%s%s\n",
+				res.Warm.Leaders, res.Warm.Forked, res.Warm.Scratch,
+				fallbackSummary(res.Warm.Fallbacks), cacheSummary(res.Warm))
 		}
 		if grid.CITolerance > 0 {
 			reps := grid.SeedReplicates
@@ -339,6 +367,19 @@ func fallbackSummary(m map[string]int) string {
 		parts[i] = fmt.Sprintf("%s ×%d", k, m[k])
 	}
 	return " (" + strings.Join(parts, ", ") + ")"
+}
+
+// cacheSummary renders the persistent warm-cache traffic as a "; cache:"
+// suffix for the warm-plan line ("" when no store was configured).
+func cacheSummary(w *lbica.SweepWarmStats) string {
+	if w.CacheHits == 0 && w.CacheStores == 0 && w.CacheCorrupt == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("; cache: %d hit, %d stored", w.CacheHits, w.CacheStores)
+	if w.CacheCorrupt > 0 {
+		s += fmt.Sprintf(", %d corrupt entries replaced", w.CacheCorrupt)
+	}
+	return s
 }
 
 func countSeriesFiles(dir string) int {

@@ -297,6 +297,62 @@ func TestRunWarmPlanLog(t *testing.T) {
 	}
 }
 
+// -warm-cache: the first invocation stores the warmup prefixes (the
+// shared leader prefix and the scratch SIB member's private one), the
+// second restores both, both emit byte-identical reports, and the stderr
+// warm-plan line carries the cache tallies.
+func TestRunWarmCache(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "warm-cache")
+	args := []string{"-workloads", "tpcc", "-schemes", "wb,sib,lbica",
+		"-intervals", "6", "-warmup", "2", "-warm-cache", dir, "-format", "csv"}
+
+	var out1, err1 strings.Builder
+	if err := run(t.Context(), args, &out1, &err1); err != nil {
+		t.Fatalf("first run: %v (stderr: %s)", err, err1.String())
+	}
+	if !strings.Contains(err1.String(), "cache: 0 hit, 2 stored") {
+		t.Errorf("first run stderr missing the store tally:\n%s", err1.String())
+	}
+
+	var out2, err2 strings.Builder
+	if err := run(t.Context(), args, &out2, &err2); err != nil {
+		t.Fatalf("second run: %v (stderr: %s)", err, err2.String())
+	}
+	if !strings.Contains(err2.String(), "cache: 2 hit, 0 stored") {
+		t.Errorf("second run stderr missing the hit tally:\n%s", err2.String())
+	}
+	if out1.String() != out2.String() {
+		t.Errorf("cache hit changed the emitted report:\n--- first\n%s--- second\n%s", out1.String(), out2.String())
+	}
+}
+
+// -warm-cache validation is eager: a missing -warmup and an unusable
+// directory are flag-parse failures, before any simulation starts.
+func TestRunWarmCacheValidation(t *testing.T) {
+	var out, errBuf strings.Builder
+	err := run(t.Context(), []string{"-warm-cache", t.TempDir(), "-q"}, &out, &errBuf)
+	if !errors.Is(err, cli.ErrUsage) {
+		t.Errorf("-warm-cache without -warmup returned %v, want cli.ErrUsage", err)
+	}
+	if !strings.Contains(errBuf.String(), "-warmup") {
+		t.Errorf("stderr does not explain the -warmup requirement:\n%s", errBuf.String())
+	}
+
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	errBuf.Reset()
+	err = run(t.Context(), []string{"-warmup", "2", "-warm-cache", file, "-q"}, &out, &errBuf)
+	if !errors.Is(err, cli.ErrUsage) {
+		t.Errorf("-warm-cache over a regular file returned %v, want cli.ErrUsage", err)
+	}
+	if out.Len() != 0 {
+		t.Errorf("invalid cache dir still produced a report:\n%s", out.String())
+	}
+}
+
 // A mixed-width grid with a non-zero skew runs in one invocation: skew is
 // inert at one volume, so the width-1 cells canonicalize to skew 0 and
 // the collapsed combinations land in the log instead of failing the run.

@@ -1,0 +1,114 @@
+package cache
+
+import "lbica/internal/ckpt"
+
+// EncodeState serializes the cache's mutable state: write policy, the
+// tag/metadata arrays, the LRU tick, occupancy counters, statistics and
+// the Random-replacement xorshift state. Geometry (cfg, ways, setMask)
+// is excluded — it is a pure function of the configuration the restoring
+// side rebuilds from, and the array lengths cross-check it on decode.
+// The victims scratch buffer is transient per Access call and skipped,
+// exactly as Clone drops it.
+func (c *Cache) EncodeState(enc *ckpt.Encoder) {
+	enc.Section("cache.Cache")
+	enc.U8(uint8(c.policy))
+	enc.U32(uint32(len(c.tags)))
+	for _, t := range c.tags {
+		enc.I64(t)
+	}
+	for _, m := range c.meta {
+		enc.U64(m.epoch)
+		enc.U64(m.lastUse)
+		enc.U64(m.loadedAt)
+		enc.Bool(m.dirty)
+		enc.Bool(m.flushing)
+	}
+	enc.U64(c.tick)
+	enc.Int(c.dirty)
+	enc.Int(c.valid)
+	enc.U64(c.rndSt)
+	c.stats.EncodeState(enc)
+}
+
+// DecodeState restores the cache in place. The line count must match the
+// freshly built geometry: a checkpoint for a different cache size is
+// corrupt relative to this configuration.
+func (c *Cache) DecodeState(d *ckpt.Decoder) {
+	d.Section("cache.Cache")
+	policy := Policy(d.U8())
+	n := d.Count(8)
+	if d.Err() != nil {
+		return
+	}
+	if n != len(c.tags) {
+		d.Failf("cache line count %d differs from geometry %d", n, len(c.tags))
+		return
+	}
+	tags := make([]int64, n)
+	for i := range tags {
+		tags[i] = d.I64()
+	}
+	meta := make([]lineMeta, n)
+	for i := range meta {
+		meta[i] = lineMeta{
+			epoch:    d.U64(),
+			lastUse:  d.U64(),
+			loadedAt: d.U64(),
+			dirty:    d.Bool(),
+			flushing: d.Bool(),
+		}
+	}
+	tick := d.U64()
+	dirty := d.Int()
+	valid := d.Int()
+	rndSt := d.U64()
+	var stats Stats
+	stats.DecodeState(d)
+	if d.Err() != nil {
+		return
+	}
+	if dirty < 0 || dirty > n || valid < 0 || valid > n {
+		d.Failf("corrupt cache occupancy (dirty %d, valid %d, lines %d)", dirty, valid, n)
+		return
+	}
+	c.policy = policy
+	c.tags = tags
+	c.meta = meta
+	c.tick = tick
+	c.dirty = dirty
+	c.valid = valid
+	c.rndSt = rndSt
+	c.stats = stats
+	c.victims = nil
+}
+
+// EncodeState serializes the counter block.
+func (s *Stats) EncodeState(enc *ckpt.Encoder) {
+	for _, v := range s.fields() {
+		enc.U64(*v)
+	}
+}
+
+// DecodeState restores the counter block.
+func (s *Stats) DecodeState(d *ckpt.Decoder) {
+	for _, v := range s.fields() {
+		*v = d.U64()
+	}
+}
+
+// fields enumerates the counters in wire order. New counters append here
+// (and bump the checkpoint format version).
+func (s *Stats) fields() []*uint64 {
+	return []*uint64{
+		&s.Reads, &s.Writes,
+		&s.ReadHits, &s.ReadMisses,
+		&s.WriteHits, &s.WriteMisses,
+		&s.Promotes,
+		&s.CleanEvicts, &s.DirtyEvicts,
+		&s.Invalidations,
+		&s.FlushesStarted, &s.Flushed,
+		&s.PolicySwitches,
+		&s.BypassedReads, &s.BypassedWr,
+		&s.MigratedOut, &s.MigratedIn,
+	}
+}

@@ -1,0 +1,456 @@
+// Package ckpt provides the low-level wire primitives of the checkpoint
+// codec: a bounds-checked binary writer/reader pair plus the memoizing
+// Encoder/Decoder that serialize the shared request/completer graph a
+// warmed stack holds in flight.
+//
+// The codec mirrors the fork machinery (internal/engine/fork.go) exactly:
+// where a fork deep-copies via block.Cloner — memoized requests, completer
+// CloneFor dispatch, an Env map from components to their clone-side
+// counterparts — the encoder writes memo references, kind-tagged completer
+// payloads, and small component ids, and the decoder replays them against
+// a freshly built stack. Decoding is strictly two-phase for completers
+// (allocate a placeholder, memoize it, then fill), which is what lets the
+// request graph's cycles (an in-flight application op is the completer of
+// its own legs) round-trip.
+//
+// Every read is validated against the remaining input before it
+// allocates, so a truncated, bit-flipped, or hostile payload surfaces as
+// a sticky decode error — never a panic or an unbounded allocation.
+package ckpt
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+
+	"lbica/internal/block"
+)
+
+// Writer accumulates a little-endian binary payload. Writes cannot fail.
+type Writer struct {
+	buf []byte
+}
+
+// Data returns the accumulated payload.
+func (w *Writer) Data() []byte { return w.buf }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a fixed 32-bit value.
+func (w *Writer) U32(v uint32) {
+	w.buf = binary.LittleEndian.AppendUint32(w.buf, v)
+}
+
+// U64 writes a fixed 64-bit value.
+func (w *Writer) U64(v uint64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, v)
+}
+
+// I64 writes a signed 64-bit value.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as 64 bits.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// I32 writes a signed 32-bit value.
+func (w *Writer) I32(v int32) { w.U32(uint32(v)) }
+
+// F64 writes a float64 by bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Duration writes a time.Duration as its nanosecond count.
+func (w *Writer) Duration(d time.Duration) { w.I64(int64(d)) }
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Reader consumes a payload written by Writer. The first failed read sets
+// a sticky error; every subsequent read returns the zero value, so decode
+// paths can read unconditionally and check Err once per section.
+type Reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+// NewReader returns a reader over b.
+func NewReader(b []byte) *Reader { return &Reader{b: b} }
+
+// Err returns the sticky decode error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Failf sets the sticky error (keeping the first one).
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("ckpt: "+format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.b) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || n > r.Remaining() {
+		r.Failf("truncated input: need %d bytes, have %d", n, r.Remaining())
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a fixed 32-bit value.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a fixed 64-bit value.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a signed 64-bit value.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// I32 reads a signed 32-bit value.
+func (r *Reader) I32() int32 { return int32(r.U32()) }
+
+// F64 reads a float64 by bit pattern.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Duration reads a time.Duration.
+func (r *Reader) Duration() time.Duration { return time.Duration(r.I64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := r.U32()
+	b := r.take(int(n))
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Count reads a u32 element count and validates it against the remaining
+// input assuming each element occupies at least elemSize bytes — the
+// guard that keeps a hostile length prefix from driving an unbounded
+// allocation. elemSize must be ≥ 1.
+func (r *Reader) Count(elemSize int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n*elemSize > r.Remaining() {
+		r.Failf("corrupt element count %d (elem size %d, %d bytes remain)", n, elemSize, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Encoder serializes a stack's state: wire primitives via the embedded
+// Writer plus the memo tables for the shared request/completer graph and
+// the component-reference map. Encoding cannot fail structurally; the
+// sticky error only reports state the codec does not know how to encode
+// (a non-encodable completer or generator), which callers surface as a
+// scratch fallback.
+type Encoder struct {
+	*Writer
+	err     error
+	reqIDs  map[*block.Request]uint32
+	compIDs map[block.Completer]uint32
+	envIDs  map[any]uint32
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder {
+	return &Encoder{
+		Writer:  &Writer{},
+		reqIDs:  make(map[*block.Request]uint32),
+		compIDs: make(map[block.Completer]uint32),
+		envIDs:  make(map[any]uint32),
+	}
+}
+
+// Err returns the sticky encode error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+// Failf sets the sticky encode error (keeping the first one).
+func (e *Encoder) Failf(format string, args ...any) {
+	if e.err == nil {
+		e.err = fmt.Errorf("ckpt: "+format, args...)
+	}
+}
+
+// Section writes a named marker delimiting a state section, so a decoder
+// that drifts out of alignment fails fast at the next boundary instead of
+// misinterpreting the rest of the payload.
+func (e *Encoder) Section(tag string) { e.String(tag) }
+
+// RegisterComponent assigns the next component id to c. Both sides must
+// register the same components in the same order; ComponentRef then
+// resolves cross-component pointers (a chain's owning queue, an op's
+// owning stack) by id.
+func (e *Encoder) RegisterComponent(c any) {
+	if _, ok := e.envIDs[c]; ok {
+		return
+	}
+	e.envIDs[c] = uint32(len(e.envIDs))
+}
+
+// ComponentRef writes the id of a registered component.
+func (e *Encoder) ComponentRef(c any) {
+	id, ok := e.envIDs[c]
+	if !ok {
+		e.Failf("component %T not registered", c)
+	}
+	e.U32(id)
+}
+
+// StateCodec is any stack component that can round-trip its mutable
+// state through a checkpoint: encode onto an Encoder, restore in place
+// from a Decoder. Wrapper components (rate limiters, tees) assert it on
+// what they wrap to decide checkpointability dynamically.
+type StateCodec interface {
+	EncodeState(*Encoder)
+	DecodeState(*Decoder)
+}
+
+// EncodableCompleter is a completion callback the codec can serialize:
+// it names its registered kind and writes its payload. Every completer
+// the engine or queue layer installs implements it, mirroring
+// block.ForkableCompleter.
+type EncodableCompleter interface {
+	block.Completer
+	CkptKind() string
+	EncodeCkpt(*Encoder)
+}
+
+// Request encodes a request reference: nil, a memo back-reference, or —
+// on first encounter — the request's fields followed by its completion
+// callback. Shared requests (a queue node and a server's in-flight op
+// pointing at the same request) round-trip to a single shared clone.
+func (e *Encoder) Request(r *block.Request) {
+	if r == nil {
+		e.U32(0)
+		return
+	}
+	if id, ok := e.reqIDs[r]; ok {
+		e.U32(id)
+		return
+	}
+	id := uint32(len(e.reqIDs) + 1)
+	e.reqIDs[r] = id
+	e.U32(id)
+	e.U64(r.ID)
+	e.U8(uint8(r.Origin))
+	e.I64(r.Extent.LBA)
+	e.I64(r.Extent.Sectors)
+	e.U64(r.ParentID)
+	e.Duration(r.Submit)
+	e.Duration(r.Dispatch)
+	e.Duration(r.Complete)
+	e.Int(r.Merged)
+	e.Bool(r.Shadowed)
+	e.Bool(r.Recycle)
+	e.Completer(r.OnComplete)
+}
+
+// Completer encodes a completion-callback reference: nil, a memo
+// back-reference, or — on first encounter — the completer's kind tag and
+// payload. A completer that does not implement EncodableCompleter sets
+// the sticky error (the state cannot be checkpointed).
+func (e *Encoder) Completer(c block.Completer) {
+	if c == nil {
+		e.U32(0)
+		return
+	}
+	if id, ok := e.compIDs[c]; ok {
+		e.U32(id)
+		return
+	}
+	id := uint32(len(e.compIDs) + 1)
+	e.compIDs[c] = id
+	e.U32(id)
+	ec, ok := c.(EncodableCompleter)
+	if !ok {
+		e.Failf("completer %T is not checkpointable", c)
+		e.String("")
+		return
+	}
+	e.String(ec.CkptKind())
+	ec.EncodeCkpt(e)
+}
+
+// completerCodec is one registered completer kind: alloc returns an empty
+// placeholder (memoized before the payload is read, so cyclic references
+// resolve), fill decodes the payload into it.
+type completerCodec struct {
+	alloc func(d *Decoder) block.Completer
+	fill  func(d *Decoder, c block.Completer)
+}
+
+var completerCodecs = map[string]completerCodec{}
+
+// RegisterCompleter registers the decode pair for a completer kind.
+// Called from package init by every package that installs completers
+// (engine, ioqueue). Registering a kind twice panics: it would silently
+// shadow the first codec.
+func RegisterCompleter(kind string, alloc func(d *Decoder) block.Completer, fill func(d *Decoder, c block.Completer)) {
+	if _, dup := completerCodecs[kind]; dup {
+		panic(fmt.Sprintf("ckpt: completer kind %q registered twice", kind))
+	}
+	completerCodecs[kind] = completerCodec{alloc: alloc, fill: fill}
+}
+
+// Decoder deserializes a payload written by Encoder against a freshly
+// built stack: the embedded Reader supplies the bounds-checked
+// primitives, and the memo tables replay the encoder's id assignment in
+// lockstep (ids are assigned in encounter order on both sides).
+type Decoder struct {
+	*Reader
+	reqs  []*block.Request
+	comps []block.Completer
+	envs  []any
+}
+
+// NewDecoder returns a decoder over payload b.
+func NewDecoder(b []byte) *Decoder {
+	return &Decoder{Reader: NewReader(b)}
+}
+
+// Section reads a marker written by Encoder.Section and fails if it does
+// not match.
+func (d *Decoder) Section(tag string) {
+	if got := d.String(); d.err == nil && got != tag {
+		d.Failf("section marker mismatch: want %q, got %q", tag, got)
+	}
+}
+
+// RegisterComponent records the next component id as c, mirroring the
+// encoder-side registration order.
+func (d *Decoder) RegisterComponent(c any) {
+	d.envs = append(d.envs, c)
+}
+
+// ComponentRef resolves a component id written by Encoder.ComponentRef.
+func (d *Decoder) ComponentRef() any {
+	id := d.U32()
+	if d.err != nil {
+		return nil
+	}
+	if int(id) >= len(d.envs) {
+		d.Failf("component id %d out of range (%d registered)", id, len(d.envs))
+		return nil
+	}
+	return d.envs[id]
+}
+
+// Request decodes a request reference written by Encoder.Request.
+func (d *Decoder) Request() *block.Request {
+	id := d.U32()
+	if d.err != nil || id == 0 {
+		return nil
+	}
+	if int(id) <= len(d.reqs) {
+		return d.reqs[id-1]
+	}
+	if int(id) != len(d.reqs)+1 {
+		d.Failf("request id %d out of sequence (%d seen)", id, len(d.reqs))
+		return nil
+	}
+	r := &block.Request{}
+	// Memoized before the completer payload is read: a completer that
+	// references this request back-references the memo entry.
+	d.reqs = append(d.reqs, r)
+	r.ID = d.U64()
+	r.Origin = block.Origin(d.U8())
+	r.Extent.LBA = d.I64()
+	r.Extent.Sectors = d.I64()
+	r.ParentID = d.U64()
+	r.Submit = d.Duration()
+	r.Dispatch = d.Duration()
+	r.Complete = d.Duration()
+	r.Merged = d.Int()
+	r.Shadowed = d.Bool()
+	r.Recycle = d.Bool()
+	r.OnComplete = d.Completer()
+	return r
+}
+
+// Completer decodes a completer reference written by Encoder.Completer,
+// dispatching first-encounter payloads through the registered kind codec
+// in two phases (allocate + memoize, then fill) so cyclic request graphs
+// resolve.
+func (d *Decoder) Completer() block.Completer {
+	id := d.U32()
+	if d.err != nil || id == 0 {
+		return nil
+	}
+	if int(id) <= len(d.comps) {
+		return d.comps[id-1]
+	}
+	if int(id) != len(d.comps)+1 {
+		d.Failf("completer id %d out of sequence (%d seen)", id, len(d.comps))
+		return nil
+	}
+	kind := d.String()
+	if d.err != nil {
+		return nil
+	}
+	codec, ok := completerCodecs[kind]
+	if !ok {
+		d.Failf("unknown completer kind %q", kind)
+		return nil
+	}
+	c := codec.alloc(d)
+	if d.err != nil {
+		return nil
+	}
+	if c == nil {
+		d.Failf("completer kind %q allocated nil", kind)
+		return nil
+	}
+	d.comps = append(d.comps, c)
+	codec.fill(d, c)
+	return c
+}

@@ -2,9 +2,9 @@ package experiments
 
 import (
 	"context"
-	"time"
 
 	"lbica/internal/array"
+	"lbica/internal/checkpoint"
 	"lbica/internal/engine"
 )
 
@@ -52,6 +52,12 @@ const (
 type WarmOutcome struct {
 	Kind   string
 	Reason string
+	// Cache is the run's persistent-store traffic ("" without a store,
+	// and for forked members, which copy in-memory state): WarmCacheHit,
+	// WarmCacheStore, or WarmCacheCorrupt. Orthogonal to Kind — both the
+	// group leader's shared prefix and a scratch member's private one go
+	// through the store.
+	Cache string
 }
 
 // warmLeaderIndex picks the group's warmup leader, or -1 when the group
@@ -115,32 +121,19 @@ func CanShareWarmup(specs []Spec, warmupIntervals int) bool {
 // per-spec RunContext calls. The returned outcomes record, per spec, how
 // it ran and why a scratch member could not share.
 func RunWarmShared(ctx context.Context, specs []Spec, warmupIntervals int) ([]*engine.Results, []WarmOutcome) {
-	out := make([]*engine.Results, len(specs))
-	plan := make([]WarmOutcome, len(specs))
-	leaderIdx := warmLeaderIndex(specs, warmupIntervals)
-	if leaderIdx < 0 {
-		for i, s := range specs {
-			out[i] = RunContext(ctx, s)
-			plan[i] = WarmOutcome{Kind: WarmScratch, Reason: WarmReasonNoLeader}
-		}
-		return out, plan
-	}
-	spec := specs[leaderIdx].Normalize()
-	if spec.Volumes <= 1 {
-		runWarmSingle(ctx, specs, spec, leaderIdx, warmupIntervals, out, plan)
-	} else {
-		runWarmArray(ctx, specs, spec, leaderIdx, warmupIntervals, out, plan)
-	}
-	return out, plan
+	return RunWarmSharedCached(ctx, specs, warmupIntervals, nil)
 }
 
-// runWarmSingle is the single-stack warm plan: one leader stack, one
-// fork per sharing sibling.
-func runWarmSingle(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warmupIntervals int, out []*engine.Results, plan []WarmOutcome) {
+// runWarmSingle is the single-stack warm plan: one leader stack (from
+// the checkpoint store when possible), one fork per sharing sibling, and
+// a store-backed private prefix for every member the fork planner must
+// exclude (runMemberCached).
+func runWarmSingle(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warmupIntervals int, store *checkpoint.Store, out []*engine.Results, plan []WarmOutcome) {
 	cfg := spec.engineConfig()
-	leader := engine.New(cfg, NewGenerator(spec), NewBalancerWithThresholds(SchemeLBICA, spec.Thresholds))
-	leader.Start(ctx, spec.Intervals)
-	leader.StepTo(time.Duration(warmupIntervals) * spec.Interval)
+	leaders, lcache := prepareWarmStacks(ctx, spec, SchemeLBICA, warmupIntervals, store, func() []*engine.Stack {
+		return []*engine.Stack{engine.New(cfg, NewGenerator(spec), NewBalancerWithThresholds(SchemeLBICA, spec.Thresholds))}
+	})
+	leader := leaders[0]
 
 	finish := func(st *engine.Stack, s Spec) *engine.Results {
 		st.Drain()
@@ -159,8 +152,7 @@ func runWarmSingle(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warm
 		switch s.Scheme {
 		case SchemeWB:
 			if leader.BalancerActed() {
-				out[i] = RunContext(ctx, s)
-				plan[i] = WarmOutcome{Kind: WarmScratch, Reason: WarmReasonBalancerActed}
+				out[i], plan[i] = runMemberCached(ctx, s, warmupIntervals, store, WarmReasonBalancerActed)
 				continue
 			}
 			if f, err := leader.Fork(ctx, engine.DropBalancer); err == nil {
@@ -168,42 +160,38 @@ func runWarmSingle(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warm
 				plan[i] = WarmOutcome{Kind: WarmForked}
 				continue
 			}
-			out[i] = RunContext(ctx, s)
-			plan[i] = WarmOutcome{Kind: WarmScratch, Reason: WarmReasonForkError}
+			out[i], plan[i] = runMemberCached(ctx, s, warmupIntervals, store, WarmReasonForkError)
 		case SchemeLBICA, SchemeArrayLB:
 			if f, err := leader.Fork(ctx, nil); err == nil {
 				out[i] = finish(f, s)
 				plan[i] = WarmOutcome{Kind: WarmForked}
 				continue
 			}
-			out[i] = RunContext(ctx, s)
-			plan[i] = WarmOutcome{Kind: WarmScratch, Reason: WarmReasonForkError}
+			out[i], plan[i] = runMemberCached(ctx, s, warmupIntervals, store, WarmReasonForkError)
 		default:
-			out[i] = RunContext(ctx, s)
-			plan[i] = WarmOutcome{Kind: WarmScratch, Reason: WarmReasonSIB}
+			out[i], plan[i] = runMemberCached(ctx, s, warmupIntervals, store, WarmReasonSIB)
 		}
 	}
 	out[leaderIdx] = finish(leader, specs[leaderIdx])
-	plan[leaderIdx] = WarmOutcome{Kind: WarmLeader}
+	plan[leaderIdx] = WarmOutcome{Kind: WarmLeader, Cache: lcache}
 }
 
 // runWarmArray is the multi-volume warm plan: the leader is the full
 // statically routed LBICA array. All N volume stacks (wired exactly as
-// RunContext wires them, via newVolumeStack) step to the warmup barrier;
-// a sharing sibling forks every volume there before any stack advances
-// further, so the sibling sees one atomic array-wide snapshot.
-func runWarmArray(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warmupIntervals int, out []*engine.Results, plan []WarmOutcome) {
+// RunContext wires them, via newVolumeStack, or restored together from
+// one store entry) step to the warmup barrier; a sharing sibling forks
+// every volume there before any stack advances further, so the sibling
+// sees one atomic array-wide snapshot.
+func runWarmArray(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warmupIntervals int, store *checkpoint.Store, out []*engine.Results, plan []WarmOutcome) {
 	cfg := spec.engineConfig()
 	acfg := spec.arrayConfig()
-	stacks := make([]*engine.Stack, spec.Volumes)
-	for v := range stacks {
-		stacks[v] = spec.newVolumeStack(cfg, acfg, v)
-		stacks[v].Start(ctx, spec.Intervals)
-	}
-	barrier := time.Duration(warmupIntervals) * spec.Interval
-	for _, st := range stacks {
-		st.StepTo(barrier)
-	}
+	stacks, lcache := prepareWarmStacks(ctx, spec, SchemeLBICA, warmupIntervals, store, func() []*engine.Stack {
+		sts := make([]*engine.Stack, spec.Volumes)
+		for v := range sts {
+			sts[v] = spec.newVolumeStack(cfg, acfg, v)
+		}
+		return sts
+	})
 	acted := false
 	for _, st := range stacks {
 		if st.BalancerActed() {
@@ -278,5 +266,5 @@ func runWarmArray(ctx context.Context, specs []Spec, spec Spec, leaderIdx, warmu
 		}
 	}
 	out[leaderIdx] = finish(stacks, specs[leaderIdx])
-	plan[leaderIdx] = WarmOutcome{Kind: WarmLeader}
+	plan[leaderIdx] = WarmOutcome{Kind: WarmLeader, Cache: lcache}
 }

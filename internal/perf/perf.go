@@ -69,6 +69,8 @@ func Suite(intervals int) []Bench {
 		{"sweep/array-scratch", func(b *testing.B) { BenchSweepArray(b, intervals, false) }},
 		{"sweep/array-warm-fork", func(b *testing.B) { BenchSweepArray(b, intervals, true) }},
 		{"sweep/early-term", func(b *testing.B) { BenchSweepEarlyTerm(b, intervals) }},
+		{"sweep/warm-cache-cold", func(b *testing.B) { BenchSweepWarmCache(b, intervals, false) }},
+		{"sweep/warm-cache-hit", func(b *testing.B) { BenchSweepWarmCache(b, intervals, true) }},
 	}
 }
 
@@ -351,6 +353,63 @@ func BenchSweepArray(b *testing.B, intervals int, warmFork bool) {
 		}
 		if warmFork && intervals == 0 && (res.Warm == nil || res.Warm.Forked == 0) {
 			b.Fatalf("array warm plan forked nothing: %+v", res.Warm)
+		}
+	}
+}
+
+// BenchSweepWarmCache runs BenchSweep's warm-fork grid against a
+// persistent warm-state store (Grid.WarmCacheDir). The cold/hit pair
+// behind BENCH_sweep.json isolates the cross-invocation win: cold runs
+// against an empty store every iteration — the leader's warm prefix is
+// simulated, encoded and published — while hit runs against a store
+// primed once before the timer, so every iteration restores the prefix
+// from disk instead of simulating it. Emitted results are byte-identical
+// either way (the sweep package's cache identity test), so the whole
+// delta is warmup simulation traded for a checkpoint decode. Both
+// variants fail rather than silently measure the wrong path: cold must
+// store and never hit, hit must hit and never store.
+func BenchSweepWarmCache(b *testing.B, intervals int, primed bool) {
+	iv := intervals
+	if iv == 0 {
+		iv = experiments.PaperIntervals(experiments.WorkloadTPCC)
+	}
+	run := func(dir string) *sweep.Result {
+		g := sweep.Grid{
+			Workloads:       []string{experiments.WorkloadTPCC},
+			Schemes:         []string{experiments.SchemeWB, experiments.SchemeLBICA, experiments.SchemeArrayLB},
+			Seed:            1,
+			Intervals:       iv,
+			WarmupIntervals: iv * 3 / 4,
+			WarmCacheDir:    dir,
+		}
+		res, err := sweep.Execute(context.Background(), g, sweep.Options{Workers: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Completed != res.Total || res.Completed == 0 {
+			b.Fatalf("sweep completed %d of %d runs", res.Completed, res.Total)
+		}
+		return res
+	}
+	if primed {
+		dir := b.TempDir()
+		run(dir) // prime the store (untimed): simulates and publishes the prefix
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res := run(dir)
+			if res.Warm == nil || res.Warm.CacheHits == 0 || res.Warm.CacheStores != 0 {
+				b.Fatalf("primed store did not serve the warm prefix: %+v", res.Warm)
+			}
+		}
+		return
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		b.StartTimer()
+		res := run(dir)
+		if res.Warm == nil || res.Warm.CacheStores == 0 || res.Warm.CacheHits != 0 {
+			b.Fatalf("empty store did not trigger a cold store: %+v", res.Warm)
 		}
 	}
 }

@@ -1,0 +1,68 @@
+package stats
+
+import "lbica/internal/ckpt"
+
+// EncodeState serializes the accumulator.
+func (w *Welford) EncodeState(enc *ckpt.Encoder) {
+	enc.U64(w.n)
+	enc.F64(w.mean)
+	enc.F64(w.m2)
+	enc.F64(w.min)
+	enc.F64(w.max)
+}
+
+// DecodeState restores the accumulator in place.
+func (w *Welford) DecodeState(d *ckpt.Decoder) {
+	w.n = d.U64()
+	w.mean = d.F64()
+	w.m2 = d.F64()
+	w.min = d.F64()
+	w.max = d.F64()
+}
+
+// EncodeState serializes the filter (Alpha included: it is part of the
+// filter's identity and round-tripping it keeps the codec self-contained).
+func (e *EWMA) EncodeState(enc *ckpt.Encoder) {
+	enc.F64(e.Alpha)
+	enc.F64(e.level)
+	enc.Bool(e.seen)
+}
+
+// DecodeState restores the filter in place.
+func (e *EWMA) DecodeState(d *ckpt.Decoder) {
+	e.Alpha = d.F64()
+	e.level = d.F64()
+	e.seen = d.Bool()
+}
+
+// EncodeState serializes the histogram.
+func (h *Histogram) EncodeState(enc *ckpt.Encoder) {
+	enc.U32(uint32(len(h.counts)))
+	for _, c := range h.counts {
+		enc.U64(c)
+	}
+	enc.U64(h.total)
+	enc.F64(h.sum)
+	enc.Duration(h.max)
+	enc.Duration(h.min)
+}
+
+// DecodeState restores the histogram in place. The bucket count is fixed
+// by the layout, so a checkpoint with a different count is corrupt.
+func (h *Histogram) DecodeState(d *ckpt.Decoder) {
+	n := d.Count(8)
+	if d.Err() != nil {
+		return
+	}
+	if n != len(h.counts) {
+		d.Failf("histogram bucket count %d differs from layout %d", n, len(h.counts))
+		return
+	}
+	for i := range h.counts {
+		h.counts[i] = d.U64()
+	}
+	h.total = d.U64()
+	h.sum = d.F64()
+	h.max = d.Duration()
+	h.min = d.Duration()
+}

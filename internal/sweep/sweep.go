@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"lbica/internal/array"
+	"lbica/internal/checkpoint"
 	"lbica/internal/engine"
 	"lbica/internal/experiments"
 	"lbica/internal/runner"
@@ -107,6 +108,21 @@ type Grid struct {
 	// strategy, not a grid axis, and the emitted sweep.json must stay
 	// byte-for-byte independent of it.
 	WarmupIntervals int `json:"-"`
+	// WarmCacheDir, when non-empty, backs warm-fork sweeps with the
+	// persistent checkpoint store rooted at that directory: each shared
+	// warmup prefix is looked up there before being simulated and written
+	// through after (experiments.RunWarmSharedCached), so repeated
+	// invocations — narrowing a grid, adding replicates, re-running after
+	// a crash — skip the warmup simulation entirely. Results stay
+	// byte-identical to uncached execution; a corrupt or version-skewed
+	// entry silently falls back to simulation and is overwritten. Requires
+	// WarmupIntervals > 0 (the cache stores warm prefixes; with no warmup
+	// there is nothing to persist).
+	//
+	// Excluded from the JSON grid echo for the same reason as
+	// WarmupIntervals: an execution strategy must not change the emitted
+	// sweep bytes.
+	WarmCacheDir string `json:"-"`
 	// CITolerance, when > 0, turns on cross-cell early termination: the
 	// sweep stops launching further seed replicates for a grid coordinate
 	// once, for every scheme at that coordinate, the 95% Student-t
@@ -195,6 +211,9 @@ func (g Grid) Validate() error {
 	}
 	if g.WarmupIntervals < 0 {
 		return fmt.Errorf("sweep: negative warmup interval count %d (0 disables warm-fork sharing)", g.WarmupIntervals)
+	}
+	if g.WarmCacheDir != "" && g.WarmupIntervals <= 0 {
+		return fmt.Errorf("sweep: warm cache directory %q set without warmup intervals (the cache stores warm prefixes; set WarmupIntervals > 0)", g.WarmCacheDir)
 	}
 	// Same shape as the cache-mult check below: a bare `< 0` would wave
 	// NaN through (every comparison false) into the termination decision.
@@ -498,8 +517,9 @@ type Result struct {
 // WarmStats counts a warm-fork sweep's per-run plan outcomes, so a
 // regression to 0% sharing is visible instead of a silent slowdown.
 type WarmStats struct {
-	// Leaders ran the shared warmup prefix themselves; Forked reused a
-	// leader's prefix via a deep-copy fork; Scratch ran from scratch.
+	// Leaders ran (or restored) the shared warmup prefix themselves;
+	// Forked reused a leader's prefix via a deep-copy fork; Scratch ran
+	// from scratch.
 	Leaders int
 	Forked  int
 	Scratch int
@@ -507,9 +527,24 @@ type WarmStats struct {
 	// constants: "no-leader", "sib", "balancer-acted", "multi-volume",
 	// "fork-error").
 	Fallbacks map[string]int
+	// Persistent-cache tallies (all zero unless Grid.WarmCacheDir is
+	// set), orthogonal to the plan-structure counts above: both a
+	// leader's shared prefix and a scratch member's private one go
+	// through the store. CacheHits runs restored their warmup prefix
+	// from the store; CacheStores simulated it and published the
+	// checkpoint; CacheCorrupt counts the stores that were fallbacks
+	// from an unusable entry (truncated, checksum mismatch, version
+	// skew, failed restore) — each such run is counted in both
+	// CacheStores and CacheCorrupt.
+	CacheHits    int
+	CacheStores  int
+	CacheCorrupt int
 }
 
-// observe folds one run's warm outcome into the counts.
+// observe folds one run's warm outcome into the counts. Kind and Cache
+// are orthogonal: Leaders + Forked + Scratch always equals the number of
+// warm-planned runs, cached or not, and the cache tallies count store
+// traffic regardless of the run's place in the plan.
 func (w *WarmStats) observe(o experiments.WarmOutcome) {
 	switch o.Kind {
 	case experiments.WarmLeader:
@@ -523,6 +558,15 @@ func (w *WarmStats) observe(o experiments.WarmOutcome) {
 		}
 		w.Fallbacks[o.Reason]++
 	}
+	switch o.Cache {
+	case experiments.WarmCacheHit:
+		w.CacheHits++
+	case experiments.WarmCacheStore:
+		w.CacheStores++
+	case experiments.WarmCacheCorrupt:
+		w.CacheStores++
+		w.CacheCorrupt++
+	}
 }
 
 // unitResult carries one scheduling unit's engine results (in unit-member
@@ -533,15 +577,16 @@ type unitResult struct {
 }
 
 // runUnit executes one scheduling unit: a warm-fork group when
-// WarmupIntervals is set (sharing members reuse the leader's prefix,
-// outcomes recorded), plain sequential scratch runs otherwise.
-func runUnit(ctx context.Context, g Grid, pts []Point, idx []int) unitResult {
+// WarmupIntervals is set (sharing members reuse the leader's prefix —
+// restored from the checkpoint store when one is given — and outcomes
+// are recorded), plain sequential scratch runs otherwise.
+func runUnit(ctx context.Context, g Grid, store *checkpoint.Store, pts []Point, idx []int) unitResult {
 	if g.WarmupIntervals > 0 {
 		specs := make([]experiments.Spec, len(idx))
 		for k, i := range idx {
 			specs[k] = pts[i].Spec
 		}
-		rs, warm := experiments.RunWarmShared(ctx, specs, g.WarmupIntervals)
+		rs, warm := experiments.RunWarmSharedCached(ctx, specs, g.WarmupIntervals, store)
 		return unitResult{res: rs, warm: warm}
 	}
 	rs := make([]*engine.Results, len(idx))
@@ -569,9 +614,13 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 		return nil, err
 	}
 	g = g.Normalize()
+	store, err := openWarmStore(g)
+	if err != nil {
+		return nil, err
+	}
 	pts := g.Expand()
 	if g.CITolerance > 0 {
-		return executeAdaptive(ctx, g, pts, opt)
+		return executeAdaptive(ctx, g, store, pts, opt)
 	}
 	// The unit is the scheduling granule: one point per unit in the
 	// default from-scratch mode, one warm-fork group per unit when
@@ -593,7 +642,7 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 	// the slot empty — partial reports contain only whole runs.
 	unitRes, err := runner.Map(ctx, len(units), ro,
 		func(ctx context.Context, u int) (unitResult, error) {
-			return runUnit(ctx, g, pts, units[u]), ctx.Err()
+			return runUnit(ctx, g, store, pts, units[u]), ctx.Err()
 		})
 	cells := make([]*engine.Results, len(pts))
 	for u, ur := range unitRes {
@@ -628,6 +677,22 @@ func Execute(ctx context.Context, g Grid, opt Options) (*Result, error) {
 		err = errors.Join(err, ExportSeries(opt.SeriesDir, pts, cells))
 	}
 	return res, err
+}
+
+// openWarmStore opens the grid's persistent warm cache, or returns a nil
+// store — RunWarmSharedCached's "no cache" mode — when none is
+// configured. Opening re-validates the directory (created if missing,
+// must be a writable directory) so a sweep constructed programmatically
+// gets the same eager failure the CLI's flag validation gives.
+func openWarmStore(g Grid) (*checkpoint.Store, error) {
+	if g.WarmCacheDir == "" {
+		return nil, nil
+	}
+	store, err := checkpoint.Open(g.WarmCacheDir)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return store, nil
 }
 
 // warmStats folds every recorded warm outcome into a WarmStats summary
@@ -721,7 +786,7 @@ type chainResult struct {
 // any chain actually terminates (that is the point), but with no
 // termination triggered the runs, cells, and report bytes are identical
 // apart from the per-cell CI annotations.
-func executeAdaptive(ctx context.Context, g Grid, pts []Point, opt Options) (*Result, error) {
+func executeAdaptive(ctx context.Context, g Grid, store *checkpoint.Store, pts []Point, opt Options) (*Result, error) {
 	chains := planChains(pts)
 	nS := len(g.Schemes)
 	var mu sync.Mutex
@@ -743,7 +808,7 @@ func executeAdaptive(ctx context.Context, g Grid, pts []Point, opt Options) (*Re
 			vals := make([][]float64, nS)
 			for rep := 0; rep < reps; rep++ {
 				group := idx[rep*nS : (rep+1)*nS]
-				ur := runUnit(ctx, g, pts, group)
+				ur := runUnit(ctx, g, store, pts, group)
 				if err := ctx.Err(); err != nil {
 					// The interrupted replicate group — and, because a job
 					// error drops the whole slot, the chain — is discarded:

@@ -368,54 +368,9 @@ func Run(o Options) (*Report, error) {
 // with ctx.Err(). A cancellation arriving only after every requested
 // interval has sampled is ignored — the report is complete.
 func RunContext(ctx context.Context, o Options) (*Report, error) {
-	// Zero means "use the default"; a negative value is an error, never a
-	// silent rewrite — clamping it would run a different experiment than
-	// the one the caller asked for while reporting their value nowhere.
-	if o.Intervals < 0 || o.IntervalLength < 0 || o.RateFactor < 0 {
-		return nil, fmt.Errorf("lbica: negative Intervals/IntervalLength/RateFactor (got %d, %v, %v); zero means default",
-			o.Intervals, o.IntervalLength, o.RateFactor)
-	}
-	if o.Volumes < 0 {
-		return nil, fmt.Errorf("lbica: negative Volumes %d; zero means the single-stack default", o.Volumes)
-	}
-	if o.Volumes <= 1 && (o.RoutePolicy != "" || o.RouteSkew != 0) {
-		return nil, fmt.Errorf("lbica: RoutePolicy %q / RouteSkew %v set on a single-volume run; routing needs Volumes > 1",
-			o.RoutePolicy, o.RouteSkew)
-	}
-	if err := o.Thresholds.coreThresholds().Validate(); err != nil {
-		return nil, fmt.Errorf("lbica: %w", err)
-	}
-	if o.Workload == "" && len(o.Phases) == 0 {
-		o.Workload = WorkloadTPCC
-	}
-	if o.Scheme == "" {
-		o.Scheme = SchemeLBICA
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
-	if o.IntervalLength == 0 {
-		o.IntervalLength = 200 * time.Millisecond
-	}
-	if o.RateFactor == 0 {
-		o.RateFactor = 1
-	}
-	if o.Intervals == 0 {
-		if len(o.Phases) == 0 {
-			o.Intervals = defaultIntervals(o.Workload)
-		} else {
-			o.Intervals = 200
-		}
-	}
-	if strings.ToLower(o.Scheme) == SchemeArrayLB {
-		if o.RoutePolicy != "" {
-			return nil, fmt.Errorf("lbica: RoutePolicy %q set under scheme array-lb; the controller owns routing (RouteSkew seeds its initial weights)", o.RoutePolicy)
-		}
-		if _, err := array.ParseVariant(o.RouteVariant); err != nil {
-			return nil, fmt.Errorf("lbica: %w", err)
-		}
-	} else if o.RouteVariant != "" {
-		return nil, fmt.Errorf("lbica: RouteVariant %q set under scheme %q; adaptive variants apply to array-lb only", o.RouteVariant, o.Scheme)
+	o, err := normalizeOptions(o)
+	if err != nil {
+		return nil, err
 	}
 	if o.Volumes > 1 {
 		if strings.ToLower(o.Scheme) == SchemeArrayLB {
@@ -473,6 +428,61 @@ func RunContext(ctx context.Context, o Options) (*Report, error) {
 		ctxErr = nil
 	}
 	return buildReport(o, res), errors.Join(ctxErr, flushErr, saveErr)
+}
+
+// normalizeOptions validates o and fills every defaulted field, returning
+// the effective options of the run. Zero means "use the default"; a
+// negative value is an error, never a silent rewrite — clamping it would
+// run a different experiment than the one the caller asked for while
+// reporting their value nowhere.
+func normalizeOptions(o Options) (Options, error) {
+	if o.Intervals < 0 || o.IntervalLength < 0 || o.RateFactor < 0 {
+		return o, fmt.Errorf("lbica: negative Intervals/IntervalLength/RateFactor (got %d, %v, %v); zero means default",
+			o.Intervals, o.IntervalLength, o.RateFactor)
+	}
+	if o.Volumes < 0 {
+		return o, fmt.Errorf("lbica: negative Volumes %d; zero means the single-stack default", o.Volumes)
+	}
+	if o.Volumes <= 1 && (o.RoutePolicy != "" || o.RouteSkew != 0) {
+		return o, fmt.Errorf("lbica: RoutePolicy %q / RouteSkew %v set on a single-volume run; routing needs Volumes > 1",
+			o.RoutePolicy, o.RouteSkew)
+	}
+	if err := o.Thresholds.coreThresholds().Validate(); err != nil {
+		return o, fmt.Errorf("lbica: %w", err)
+	}
+	if o.Workload == "" && len(o.Phases) == 0 {
+		o.Workload = WorkloadTPCC
+	}
+	if o.Scheme == "" {
+		o.Scheme = SchemeLBICA
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.IntervalLength == 0 {
+		o.IntervalLength = 200 * time.Millisecond
+	}
+	if o.RateFactor == 0 {
+		o.RateFactor = 1
+	}
+	if o.Intervals == 0 {
+		if len(o.Phases) == 0 {
+			o.Intervals = defaultIntervals(o.Workload)
+		} else {
+			o.Intervals = 200
+		}
+	}
+	if strings.ToLower(o.Scheme) == SchemeArrayLB {
+		if o.RoutePolicy != "" {
+			return o, fmt.Errorf("lbica: RoutePolicy %q set under scheme array-lb; the controller owns routing (RouteSkew seeds its initial weights)", o.RoutePolicy)
+		}
+		if _, err := array.ParseVariant(o.RouteVariant); err != nil {
+			return o, fmt.Errorf("lbica: %w", err)
+		}
+	} else if o.RouteVariant != "" {
+		return o, fmt.Errorf("lbica: RouteVariant %q set under scheme %q; adaptive variants apply to array-lb only", o.RouteVariant, o.Scheme)
+	}
+	return o, nil
 }
 
 func defaultIntervals(wl string) int {

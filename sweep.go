@@ -66,6 +66,17 @@ type GridSpec struct {
 	// WarmupIntervals == 0 sweep; only wall-clock time changes. The plan's
 	// outcomes land in SweepResult.Warm. Negative values are an error.
 	WarmupIntervals int
+	// WarmCacheDir, when non-empty, backs the warm-fork plan with a
+	// persistent on-disk checkpoint store rooted at that directory: each
+	// shared warmup prefix is restored from the store when a previous
+	// invocation left it there and written through after being simulated,
+	// so repeated sweeps over overlapping grids skip the warmup wall-clock
+	// entirely. Results stay byte-identical to an uncached sweep; a
+	// missing, corrupt, truncated, or version-skewed entry silently falls
+	// back to simulation (tallied in SweepResult.Warm) and is overwritten.
+	// The directory is created if absent; an unusable path is an error
+	// before any run starts. Requires WarmupIntervals > 0.
+	WarmCacheDir string
 	// CITolerance, when positive, turns on cross-cell early termination:
 	// a grid coordinate stops launching further seed replicates once, for
 	// every scheme at that coordinate, the 95% confidence half-width over
@@ -181,6 +192,15 @@ type SweepWarmStats struct {
 	// whose adaptive controller diverges from the static prefix), or
 	// "fork-error".
 	Fallbacks map[string]int
+	// Persistent-cache tallies, all zero unless GridSpec.WarmCacheDir is
+	// set: CacheHits leaders restored their warmup prefix from the store,
+	// CacheStores simulated and published it, and CacheCorrupt counts the
+	// stores forced by an unusable entry (also included in CacheStores).
+	// Cached leaders are included in Leaders, so Leaders + Forked +
+	// Scratch still covers every run.
+	CacheHits    int
+	CacheStores  int
+	CacheCorrupt int
 }
 
 // Sweep expands the grid and executes it across the bounded worker pool.
@@ -208,6 +228,7 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 		Intervals:       g.Intervals,
 		Interval:        g.IntervalLength,
 		WarmupIntervals: g.WarmupIntervals,
+		WarmCacheDir:    g.WarmCacheDir,
 		CITolerance:     g.CITolerance,
 	}, sweep.Options{Workers: opt.Workers, OnDone: opt.OnProgress, SeriesDir: opt.SeriesDir})
 	if res == nil {
@@ -223,10 +244,13 @@ func Sweep(ctx context.Context, g GridSpec, opt SweepOptions) (*SweepResult, err
 	}
 	if res.Warm != nil {
 		out.Warm = &SweepWarmStats{
-			Leaders:   res.Warm.Leaders,
-			Forked:    res.Warm.Forked,
-			Scratch:   res.Warm.Scratch,
-			Fallbacks: res.Warm.Fallbacks,
+			Leaders:      res.Warm.Leaders,
+			Forked:       res.Warm.Forked,
+			Scratch:      res.Warm.Scratch,
+			Fallbacks:    res.Warm.Fallbacks,
+			CacheHits:    res.Warm.CacheHits,
+			CacheStores:  res.Warm.CacheStores,
+			CacheCorrupt: res.Warm.CacheCorrupt,
 		}
 	}
 	for i, r := range res.Runs {
